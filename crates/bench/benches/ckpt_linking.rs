@@ -1,0 +1,126 @@
+//! §III-E / §IV-B-5 — seamless checkpointing of DRAM + NVM variables.
+//!
+//! The paper's checkpointing subsection is truncated in the available
+//! text; the *mechanism* (§III-E) is fully specified, so this bench
+//! reports our own measurements of it, flagged as reconstructed:
+//!
+//! * chunk **linking** makes the NVM-variable part of a checkpoint free
+//!   (no data copied, no extra NVM wear) vs a naive full copy;
+//! * **copy-on-write** preserves the frozen image across later writes;
+//! * **incremental** checkpoints pay only for chunks dirtied since the
+//!   previous one.
+
+use bench::{check, header, mib, scaled_fuse, Table, SCALE};
+use cluster::{run_job, Calibration, Cluster, ClusterSpec, JobConfig};
+use simcore::VTime;
+
+fn main() {
+    header(
+        "Checkpoint linking vs copy (reconstructed; §III-E mechanism)",
+        "§IV-B-5 (text truncated)",
+    );
+    let cfg = JobConfig::local(1, 4, 4);
+    let cluster = Cluster::with_fuse(
+        ClusterSpec::hal().scaled(SCALE),
+        &cfg.benefactor_nodes(),
+        scaled_fuse(SCALE),
+    );
+    let var_bytes = (32u64) << 20; // a 2 GiB variable at scale 1/64
+    let dram_bytes = (4u64) << 20; // plus a 256 MiB DRAM image
+
+    let result = run_job(&cluster, &cfg, Calibration::default(), |ctx, env| {
+        if env.rank != 0 {
+            env.comm.barrier(ctx, env.rank);
+            return Vec::new();
+        }
+        let mut out: Vec<(String, f64, u64, u64)> = Vec::new();
+        let store = env.client.mount().store().clone();
+        let wear = |c: &cluster::Cluster| -> u64 { c.total_ssd_bytes_written() };
+        let _ = wear;
+
+        let v = env.client.ssdmalloc::<u8>(ctx, var_bytes as usize).unwrap();
+        let data = vec![0x5Au8; var_bytes as usize];
+        v.write_slice(ctx, 0, &data).unwrap();
+        v.flush(ctx).unwrap();
+        let dram_state = vec![1u8; dram_bytes as usize];
+
+        // (a) Linked checkpoint.
+        let physical_before = store.manager().physical_bytes();
+        let t0 = ctx.now();
+        let ck1 = env
+            .client
+            .ssdcheckpoint(ctx, "bench", &dram_state, &[&v])
+            .unwrap();
+        let linked_time = (ctx.now() - t0).as_secs_f64();
+        let linked_extra = store.manager().physical_bytes() - physical_before;
+        out.push(("linked ckpt #1".into(), linked_time, linked_extra, dram_bytes));
+
+        // (b) Naive full copy (what linking avoids): stream the variable
+        // into a fresh file.
+        let t0 = ctx.now();
+        let copy = env.client.ssdmalloc::<u8>(ctx, var_bytes as usize).unwrap();
+        let mut buf = vec![0u8; var_bytes as usize];
+        v.read_slice(ctx, 0, &mut buf).unwrap();
+        copy.write_slice(ctx, 0, &buf).unwrap();
+        copy.flush(ctx).unwrap();
+        let copy_time = (ctx.now() - t0).as_secs_f64();
+        out.push(("naive full copy".into(), copy_time, var_bytes, dram_bytes));
+        env.client.ssdfree(ctx, copy).unwrap();
+
+        // (c) Dirty 10% of the variable, take an incremental checkpoint.
+        let tenth = (var_bytes / 10) as usize;
+        v.write_slice(ctx, 0, &vec![0xA5u8; tenth]).unwrap();
+        v.flush(ctx).unwrap(); // COW clones ~10% of the chunks
+        let physical_mid = store.manager().physical_bytes();
+        let t0 = ctx.now();
+        let _ck2 = env
+            .client
+            .ssdcheckpoint(ctx, "bench", &dram_state, &[&v])
+            .unwrap();
+        let incr_time = (ctx.now() - t0).as_secs_f64();
+        let incr_extra = store.manager().physical_bytes() - physical_mid;
+        out.push(("incremental ckpt #2".into(), incr_time, incr_extra, dram_bytes));
+
+        // Restores still see the frozen images.
+        let r1 = env.client.restore_var::<u8>(ctx, &ck1, 0).unwrap();
+        let ok = r1.get(ctx, 0).unwrap() == 0x5A && v.get(ctx, 0).unwrap() == 0xA5;
+        out.push(("cow isolation ok".into(), ok as u64 as f64, 0, 0));
+
+        env.comm.barrier(ctx, env.rank);
+        out
+    });
+
+    let rows = &result.outputs[0];
+    let t = Table::new(&[
+        ("Operation", 20),
+        ("Time (s)", 9),
+        ("Extra NVM (MiB)", 16),
+        ("DRAM img (MiB)", 15),
+    ]);
+    for (name, time, extra, dram) in rows.iter().take(3) {
+        t.row(&[
+            name.clone(),
+            format!("{time:.3}"),
+            mib(*extra),
+            mib(*dram),
+        ]);
+    }
+    println!();
+    let linked = &rows[0];
+    let copy = &rows[1];
+    let incr = &rows[2];
+    // Extra physical bytes must be the DRAM image alone, chunk-rounded.
+    let chunk = 256 * 1024u64;
+    check(
+        "linking adds zero NVM bytes for the variable (only the DRAM image)",
+        linked.2 == linked.3.div_ceil(chunk) * chunk,
+    );
+    check("linked checkpoint is much faster than a full copy", linked.1 * 3.0 < copy.1);
+    check(
+        "incremental checkpoint adds no new chunks beyond the DRAM image",
+        incr.2 <= linked.2,
+    );
+    check("copy-on-write keeps the frozen image intact", rows[3].1 == 1.0);
+    let vt = VTime::ZERO;
+    let _ = vt;
+}

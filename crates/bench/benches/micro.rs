@@ -1,0 +1,128 @@
+//! Criterion micro-benchmarks of the reproduction stack itself: host-side
+//! performance of the simulation substrate (not virtual-time results).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use simcore::{Engine, ProcCtx, Rendezvous, Resource, VTime};
+use std::hint::black_box;
+
+fn bench_resource(c: &mut Criterion) {
+    c.bench_function("resource_acquire", |b| {
+        let r = Resource::new("dev");
+        let mut t = VTime::ZERO;
+        b.iter(|| {
+            t += VTime::from_nanos(10);
+            black_box(r.acquire_at(t, VTime::from_nanos(5)));
+        });
+    });
+}
+
+fn bench_dirty_bitmap(c: &mut Criterion) {
+    use fusemm::DirtyPages;
+    c.bench_function("dirty_runs_64pages", |b| {
+        let mut d = DirtyPages::new(64);
+        for p in (0..64).step_by(3) {
+            d.mark(p);
+        }
+        b.iter(|| black_box(d.runs(4096)));
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    use chunkstore::FileId;
+    use fusemm::ChunkCache;
+    c.bench_function("chunk_cache_get_insert_evict", |b| {
+        b.iter_batched(
+            || ChunkCache::new(256, 64),
+            |mut cache| {
+                for i in 0..512usize {
+                    if cache.is_full() {
+                        let victim = cache.lru_key().unwrap();
+                        cache.remove(&victim);
+                    }
+                    cache.insert(
+                        (FileId(0), i),
+                        vec![0u8; 64].into_boxed_slice(),
+                        VTime::ZERO,
+                    );
+                    black_box(cache.get_mut(&(FileId(0), i.saturating_sub(7))));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_engine_baton(c: &mut Criterion) {
+    c.bench_function("engine_2proc_1000_yields", |b| {
+        b.iter(|| {
+            Engine::run(
+                (0..2usize)
+                    .map(|i| {
+                        move |ctx: &mut ProcCtx| {
+                            for k in 0..1000u64 {
+                                ctx.advance(VTime::from_nanos(10 + (i as u64 + k) % 3));
+                                ctx.yield_until_min();
+                            }
+                        }
+                    })
+                    .collect(),
+            )
+        });
+    });
+}
+
+fn bench_rendezvous(c: &mut Criterion) {
+    c.bench_function("rendezvous_4proc_100_barriers", |b| {
+        b.iter(|| {
+            let rv = Rendezvous::new(4);
+            Engine::run(
+                (0..4usize)
+                    .map(|i| {
+                        let rv = rv.clone();
+                        move |ctx: &mut ProcCtx| {
+                            for _ in 0..100 {
+                                ctx.advance(VTime::from_nanos(7 * (i as u64 + 1)));
+                                rv.barrier(ctx, i, VTime::ZERO);
+                            }
+                        }
+                    })
+                    .collect(),
+            )
+        });
+    });
+}
+
+fn bench_store_write(c: &mut Criterion) {
+    use chunkstore::{AggregateStore, Benefactor, StoreConfig, StripeSpec, PlacementPolicy};
+    use devices::{Ssd, INTEL_X25E};
+    use netsim::{NetConfig, Network};
+    use simcore::StatsRegistry;
+
+    c.bench_function("store_write_pages_4k", |b| {
+        let stats = StatsRegistry::new();
+        let net = Network::new(2, NetConfig::default(), &stats);
+        let store = AggregateStore::new(StoreConfig::default(), net, &stats);
+        let ssd = Ssd::new("b.ssd", INTEL_X25E, &stats);
+        store.add_benefactor(Benefactor::new(0, ssd, 1 << 30, 256 * 1024));
+        let (t, f) = store.create_file(VTime::ZERO, 1, "/bench").unwrap();
+        store
+            .fallocate(t, 1, f, 16 << 20, StripeSpec::All, PlacementPolicy::RoundRobin)
+            .unwrap();
+        let page = vec![1u8; 4096];
+        let mut t = VTime::ZERO;
+        let mut i = 0u64;
+        b.iter(|| {
+            t += VTime::from_micros(1);
+            let off = (i * 4096) % (256 * 1024 - 4096);
+            i += 1;
+            black_box(store.write_pages(t, 1, f, (i % 64) as usize, &[(off, &page)]).unwrap());
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_resource, bench_dirty_bitmap, bench_cache, bench_engine_baton, bench_rendezvous, bench_store_write
+}
+criterion_main!(benches);

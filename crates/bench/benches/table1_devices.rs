@@ -1,0 +1,52 @@
+//! Table I — device characteristics.
+//!
+//! Prints the calibrated device profiles and exercises each model with a
+//! 256 KiB transfer so the effective latencies/bandwidths driving every
+//! other experiment are visible.
+
+use bench::{check, header, Table};
+use devices::{Ssd, TABLE1};
+use simcore::{StatsRegistry, VTime};
+
+fn main() {
+    header("Table I: device characteristics", "the paper's Table I");
+    let t = Table::new(&[
+        ("Device", 22),
+        ("Type", 6),
+        ("Iface", 6),
+        ("Read", 10),
+        ("Write", 10),
+        ("Latency", 9),
+        ("Cap(GB)", 8),
+        ("Cost($)", 9),
+        ("256KiB rd", 10),
+    ]);
+    let stats = StatsRegistry::new();
+    for p in TABLE1 {
+        let dev = Ssd::new(p.name, *p, &stats);
+        let grant = dev.read_at(VTime::ZERO, 256 * 1024);
+        t.row(&[
+            p.name.to_string(),
+            format!("{:?}", p.kind),
+            format!("{:?}", p.interface),
+            format!("{:.0}MB/s", p.read_bw.as_bytes_per_sec() / 1e6),
+            format!("{:.0}MB/s", p.write_bw.as_bytes_per_sec() / 1e6),
+            format!("{}", p.latency),
+            format!("{}", p.capacity >> 30),
+            format!("{:.0}", p.cost_usd),
+            format!("{}", grant.end),
+        ]);
+    }
+    println!();
+    // §I: DRAM is "at least 8.53 times" faster than the ioDrive Duo.
+    let dram = devices::DDR3_1600.read_bw.as_bytes_per_sec();
+    let iodrive = devices::FUSION_IODRIVE_DUO.read_bw.as_bytes_per_sec();
+    check(
+        "DRAM/ioDrive read-bandwidth ratio ≈ 8.53 (paper §I)",
+        (dram / iodrive - 8.53).abs() < 0.01,
+    );
+    check(
+        "X25-E is >40x slower than DRAM (paper §IV-B-1 rationale)",
+        dram / devices::INTEL_X25E.read_bw.as_bytes_per_sec() > 40.0,
+    );
+}

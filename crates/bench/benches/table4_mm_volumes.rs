@@ -1,0 +1,79 @@
+//! Table IV — data exchanged between the application, the FUSE layer and
+//! the SSD store during MM's computing phase, for row- vs column-major
+//! access to B at L-SSD(8:16:16).
+//!
+//! The paper's reading: with good locality (row-major), NVMalloc's chunk
+//! cache absorbs almost all application accesses — SSD traffic stays near
+//! the matrix size per pass. Column-major defeats the cache: FUSE sees
+//! page-granular requests for tiny strides and the store re-fetches
+//! chunks over and over.
+
+use bench::{check, gib, header, Table, SCALE};
+use cluster::{Cluster, ClusterSpec, JobConfig};
+use fusemm::FuseConfig;
+use workloads::matmul::{run_mm, AccessOrder, MmConfig};
+
+const N: usize = 2048;
+
+fn cluster_for(cfg: &JobConfig) -> Cluster {
+    // Same sizing as Fig. 5: B (32 MiB) must dwarf the node cache (4 MiB)
+    // for the re-fetch traffic to show, as 2 GiB dwarfed 64 MiB on HAL.
+    Cluster::with_fuse(
+        ClusterSpec::hal().scaled(SCALE),
+        &cfg.benefactor_nodes(),
+        FuseConfig {
+            cache_bytes: 4 * 1024 * 1024,
+            ..FuseConfig::default()
+        },
+    )
+}
+
+fn main() {
+    header(
+        "Table IV: bytes exchanged app/FUSE/SSD during computing, L-SSD(8:16:16)",
+        "Table IV",
+    );
+    let t = Table::new(&[
+        ("Access to B", 12),
+        ("App reads GiB", 14),
+        ("To FUSE GiB", 12),
+        ("To SSD GiB", 11),
+    ]);
+    let cfg = JobConfig::local(8, 16, 16);
+    let mut ssd = [0u64; 2];
+    let mut fuse = [0u64; 2];
+    for (slot, (order, label)) in [
+        (AccessOrder::RowMajor, "Row-major"),
+        (AccessOrder::ColMajor, "Column-major"),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let r = run_mm(
+            &cluster_for(&cfg),
+            &cfg,
+            &MmConfig {
+                order,
+                ..MmConfig::paper_2gb(N)
+            },
+        )
+        .unwrap();
+        t.row(&[
+            label.to_string(),
+            gib(r.traffic.app_b_bytes),
+            gib(r.traffic.fuse_req_bytes),
+            gib(r.traffic.ssd_req_bytes),
+        ]);
+        ssd[slot] = r.traffic.ssd_req_bytes;
+        fuse[slot] = r.traffic.fuse_req_bytes;
+    }
+    println!();
+    check(
+        "column-major sends far more chunk traffic to the SSD store",
+        ssd[1] > 4 * ssd[0],
+    );
+    check(
+        "column-major inflates page-granular FUSE requests",
+        fuse[1] > fuse[0],
+    );
+}

@@ -1,0 +1,119 @@
+//! # bench — the paper-reproduction harness
+//!
+//! One `harness = false` bench target per table and figure of the paper's
+//! evaluation (run them all with `cargo bench`), plus Criterion
+//! micro-benchmarks of the stack itself (`--bench micro`).
+//!
+//! Common policy: every experiment runs on the HAL cluster preset scaled
+//! by [`SCALE`] (capacities ÷ 64, bandwidths/latencies unchanged) with the
+//! FUSE cache scaled identically, and charges full-scale compute time via
+//! the per-experiment multiplier — see DESIGN.md §2 for why this
+//! preserves the paper's shapes. Numbers are printed next to the paper's
+//! reported values (where the text gives them) and recorded in
+//! EXPERIMENTS.md.
+
+use cluster::{Cluster, ClusterSpec, JobConfig};
+use fusemm::FuseConfig;
+use simcore::VTime;
+
+/// Capacity divisor for all experiments (except the sort, which needs a
+/// deeper scale to fit 200 GB of list data in host memory).
+pub const SCALE: u64 = 64;
+
+/// Sort-experiment divisor.
+pub const SORT_SCALE: u64 = 1024;
+
+/// The FUSE cache, scaled like every other capacity (64 MiB at scale 1).
+pub fn scaled_fuse(scale: u64) -> FuseConfig {
+    FuseConfig {
+        cache_bytes: (64 * 1024 * 1024 / scale).max(512 * 1024),
+        ..FuseConfig::default()
+    }
+}
+
+/// FUSE cache for multi-stream experiments: the scaled capacity, floored
+/// at 4 chunks per concurrent stream. The paper's unscaled 64 MiB cache
+/// holds 32 chunks per STREAM thread; naive capacity scaling would leave
+/// less than one chunk per thread and thrash in a way the real system
+/// cannot.
+pub fn stream_fuse(scale: u64, streams: usize) -> FuseConfig {
+    let chunk = 256 * 1024u64;
+    FuseConfig {
+        cache_bytes: (64 * 1024 * 1024 / scale).max(streams as u64 * 4 * chunk),
+        ..FuseConfig::default()
+    }
+}
+
+/// Build the HAL cluster for a job configuration at the default scale.
+pub fn hal_cluster(cfg: &JobConfig) -> Cluster {
+    hal_cluster_scaled(cfg, SCALE)
+}
+
+pub fn hal_cluster_scaled(cfg: &JobConfig, scale: u64) -> Cluster {
+    Cluster::with_fuse(
+        ClusterSpec::hal().scaled(scale),
+        &cfg.benefactor_nodes(),
+        scaled_fuse(scale),
+    )
+}
+
+/// Print the standard experiment header (testbed + experiment id).
+pub fn header(experiment: &str, paper_ref: &str) {
+    println!("{}", "=".repeat(74));
+    println!("{experiment}  —  reproduces {paper_ref}");
+    println!("{}", "-".repeat(74));
+    println!("{}", ClusterSpec::hal().scaled(SCALE).table2());
+    println!("{}", "-".repeat(74));
+}
+
+/// Format a virtual time in seconds with 3 decimals.
+pub fn secs(t: VTime) -> String {
+    format!("{:.3}", t.as_secs_f64())
+}
+
+/// Simple fixed-width table printer.
+pub struct Table {
+    widths: Vec<usize>,
+}
+
+impl Table {
+    pub fn new(columns: &[(&str, usize)]) -> Self {
+        let mut head = String::new();
+        for (name, w) in columns {
+            head.push_str(&format!("{name:>w$}  ", w = *w));
+        }
+        println!("{head}");
+        println!("{}", "-".repeat(head.len().min(74)));
+        Table {
+            widths: columns.iter().map(|(_, w)| *w).collect(),
+        }
+    }
+
+    pub fn row(&self, cells: &[String]) {
+        assert_eq!(cells.len(), self.widths.len());
+        let mut line = String::new();
+        for (cell, w) in cells.iter().zip(&self.widths) {
+            line.push_str(&format!("{cell:>w$}  ", w = *w));
+        }
+        println!("{line}");
+    }
+}
+
+/// GiB with 3 decimals for the volume tables.
+pub fn gib(bytes: u64) -> String {
+    format!("{:.3}", bytes as f64 / (1u64 << 30) as f64)
+}
+
+pub fn mib(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / (1u64 << 20) as f64)
+}
+
+/// A shape assertion: prints PASS/FAIL without aborting the harness, so a
+/// full `cargo bench` always produces every table.
+pub fn check(name: &str, ok: bool) {
+    println!(
+        "  [{}] {}",
+        if ok { "SHAPE-OK " } else { "SHAPE-FAIL" },
+        name
+    );
+}

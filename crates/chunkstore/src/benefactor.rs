@@ -1,0 +1,269 @@
+//! The benefactor process: contributes a node-local SSD (or a partition of
+//! it) to the aggregate store and serves chunk reads/writes from it.
+//!
+//! Benefactors store every chunk as an individual object ("benefactors
+//! store chunks as individual files", §III-D). Space accounting follows
+//! the manager's reservation protocol: a `posix_fallocate` on a striped
+//! file reserves whole chunk slots here before any data moves.
+
+use crate::ids::ChunkId;
+use devices::Ssd;
+use simcore::{Grant, VTime};
+use std::collections::HashMap;
+
+/// One benefactor's state: its SSD, its chunk objects and its space books.
+#[derive(Debug)]
+pub struct Benefactor {
+    /// Cluster node hosting this benefactor (for network routing).
+    pub node: usize,
+    /// The contributed device.
+    ssd: Ssd,
+    /// Contributed capacity in bytes (≤ the SSD's size).
+    capacity: u64,
+    /// Chunk slots reserved by fallocate but not yet materialized.
+    reserved_slots: u64,
+    /// Materialized chunks currently stored.
+    chunks: HashMap<ChunkId, Box<[u8]>>,
+    alive: bool,
+    chunk_size: u64,
+}
+
+impl Benefactor {
+    pub fn new(node: usize, ssd: Ssd, capacity: u64, chunk_size: u64) -> Self {
+        Benefactor {
+            node,
+            ssd,
+            capacity,
+            reserved_slots: 0,
+            chunks: HashMap::new(),
+            alive: true,
+            chunk_size,
+        }
+    }
+
+    pub fn ssd(&self) -> &Ssd {
+        &self.ssd
+    }
+
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Take the benefactor offline (simulated failure / decommission).
+    pub fn set_alive(&mut self, alive: bool) {
+        self.alive = alive;
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes of capacity consumed by reservations + materialized chunks.
+    pub fn used(&self) -> u64 {
+        (self.reserved_slots + self.chunks.len() as u64) * self.chunk_size
+    }
+
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used().min(self.capacity)
+    }
+
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Reserve `slots` chunk slots; the manager has already verified space.
+    pub(crate) fn reserve_slots(&mut self, slots: u64) {
+        self.reserved_slots += slots;
+        debug_assert!(self.used() <= self.capacity);
+    }
+
+    pub(crate) fn release_slots(&mut self, slots: u64) {
+        assert!(self.reserved_slots >= slots, "slot accounting underflow");
+        self.reserved_slots -= slots;
+    }
+
+    /// Whether a chunk slot can be converted or newly allocated right now.
+    pub(crate) fn can_allocate_chunk(&self, consumes_reservation: bool) -> bool {
+        if consumes_reservation {
+            self.reserved_slots > 0
+        } else {
+            self.used() + self.chunk_size <= self.capacity
+        }
+    }
+
+    /// Materialize a chunk, charging the SSD for writing `payload_bytes`
+    /// (which may be less than a full chunk when only dirty pages arrive).
+    pub(crate) fn store_chunk(
+        &mut self,
+        t: VTime,
+        id: ChunkId,
+        data: Box<[u8]>,
+        payload_bytes: u64,
+        consumes_reservation: bool,
+    ) -> Grant {
+        debug_assert_eq!(data.len() as u64, self.chunk_size);
+        if consumes_reservation {
+            self.release_slots(1);
+        }
+        let prev = self.chunks.insert(id, data);
+        assert!(prev.is_none(), "chunk {id} stored twice");
+        self.ssd.write_at(t, payload_bytes)
+    }
+
+    /// Overwrite pages of an existing chunk, charging only the dirty bytes.
+    pub(crate) fn update_chunk(
+        &mut self,
+        t: VTime,
+        id: ChunkId,
+        updates: &[(u64, &[u8])],
+    ) -> Grant {
+        let chunk = self.chunks.get_mut(&id).expect("update of missing chunk");
+        let mut bytes = 0u64;
+        for (off, data) in updates {
+            let off = *off as usize;
+            chunk[off..off + data.len()].copy_from_slice(data);
+            bytes += data.len() as u64;
+        }
+        self.ssd.write_at(t, bytes)
+    }
+
+    /// Read a whole chunk, charging the SSD.
+    pub(crate) fn read_chunk(&self, t: VTime, id: ChunkId) -> (Grant, Box<[u8]>) {
+        let data = self
+            .chunks
+            .get(&id)
+            .expect("read of missing chunk")
+            .clone();
+        let g = self.ssd.read_at(t, self.chunk_size);
+        (g, data)
+    }
+
+    /// Read a chunk without charging time (debugging/inspection).
+    pub fn peek_chunk(&self, id: ChunkId) -> Option<&[u8]> {
+        self.chunks.get(&id).map(|b| &b[..])
+    }
+
+    /// Drop a chunk and free its space.
+    pub(crate) fn drop_chunk(&mut self, id: ChunkId) {
+        let prev = self.chunks.remove(&id);
+        assert!(prev.is_some(), "dropping missing chunk {id}");
+    }
+
+    /// Whether this benefactor currently stores `id`.
+    pub fn has_chunk(&self, id: ChunkId) -> bool {
+        self.chunks.contains_key(&id)
+    }
+
+    /// Duplicate a chunk's bytes into a new chunk id on this benefactor,
+    /// charging a local SSD read + write (the server-side COW path used
+    /// when a shared chunk is modified without the client holding all of
+    /// its clean bytes).
+    pub(crate) fn clone_chunk(&mut self, t: VTime, src: ChunkId, dst: ChunkId) -> Grant {
+        let data = self
+            .chunks
+            .get(&src)
+            .expect("clone of missing chunk")
+            .clone();
+        let g_read = self.ssd.read_at(t, self.chunk_size);
+        let prev = self.chunks.insert(dst, data);
+        assert!(prev.is_none(), "clone target {dst} exists");
+        self.ssd.write_at(g_read.end, self.chunk_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use devices::INTEL_X25E;
+    use simcore::StatsRegistry;
+
+    const CHUNK: u64 = 256 * 1024;
+
+    fn bene(cap_chunks: u64) -> Benefactor {
+        let ssd = Ssd::new("b0.ssd", INTEL_X25E, &StatsRegistry::new());
+        Benefactor::new(0, ssd, cap_chunks * CHUNK, CHUNK)
+    }
+
+    fn zero_chunk() -> Box<[u8]> {
+        vec![0u8; CHUNK as usize].into_boxed_slice()
+    }
+
+    #[test]
+    fn space_accounting_reserve_then_materialize() {
+        let mut b = bene(4);
+        b.reserve_slots(2);
+        assert_eq!(b.used(), 2 * CHUNK);
+        b.store_chunk(VTime::ZERO, ChunkId(1), zero_chunk(), CHUNK, true);
+        assert_eq!(b.used(), 2 * CHUNK, "materialization keeps the slot");
+        assert_eq!(b.chunk_count(), 1);
+        assert_eq!(b.free(), 2 * CHUNK);
+    }
+
+    #[test]
+    fn store_and_read_roundtrip() {
+        let mut b = bene(4);
+        b.reserve_slots(1);
+        let mut data = zero_chunk();
+        data[7] = 42;
+        b.store_chunk(VTime::ZERO, ChunkId(9), data, CHUNK, true);
+        let (_, read) = b.read_chunk(VTime::ZERO, ChunkId(9));
+        assert_eq!(read[7], 42);
+    }
+
+    #[test]
+    fn update_charges_only_dirty_bytes() {
+        let mut b = bene(4);
+        b.reserve_slots(1);
+        b.store_chunk(VTime::ZERO, ChunkId(1), zero_chunk(), CHUNK, true);
+        let before = b.ssd().bytes_written();
+        let page = vec![1u8; 4096];
+        b.update_chunk(VTime::ZERO, ChunkId(1), &[(4096, &page)]);
+        assert_eq!(b.ssd().bytes_written() - before, 4096);
+        let (_, read) = b.read_chunk(VTime::ZERO, ChunkId(1));
+        assert_eq!(read[4096], 1);
+        assert_eq!(read[0], 0);
+        assert_eq!(read[8192], 0);
+    }
+
+    #[test]
+    fn clone_chunk_copies_data() {
+        let mut b = bene(4);
+        b.reserve_slots(1);
+        let mut data = zero_chunk();
+        data[100] = 5;
+        b.store_chunk(VTime::ZERO, ChunkId(1), data, CHUNK, true);
+        b.clone_chunk(VTime::ZERO, ChunkId(1), ChunkId(2));
+        let (_, read) = b.read_chunk(VTime::ZERO, ChunkId(2));
+        assert_eq!(read[100], 5);
+        assert!(b.has_chunk(ChunkId(1)));
+        assert_eq!(b.chunk_count(), 2);
+    }
+
+    #[test]
+    fn drop_chunk_frees_space() {
+        let mut b = bene(2);
+        b.reserve_slots(1);
+        b.store_chunk(VTime::ZERO, ChunkId(1), zero_chunk(), CHUNK, true);
+        assert_eq!(b.used(), CHUNK);
+        b.drop_chunk(ChunkId(1));
+        assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn can_allocate_checks() {
+        let mut b = bene(1);
+        assert!(b.can_allocate_chunk(false));
+        assert!(!b.can_allocate_chunk(true), "no reservation yet");
+        b.reserve_slots(1);
+        assert!(b.can_allocate_chunk(true));
+        assert!(!b.can_allocate_chunk(false), "capacity exhausted");
+    }
+
+    #[test]
+    fn alive_flag() {
+        let mut b = bene(1);
+        assert!(b.is_alive());
+        b.set_alive(false);
+        assert!(!b.is_alive());
+    }
+}

@@ -1,0 +1,65 @@
+//! Store error types.
+
+use crate::ids::{BenefactorId, FileId};
+use std::fmt;
+
+/// Errors surfaced by the aggregate store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// Lookup of an unknown file id or name.
+    NoSuchFile,
+    /// A file with this name already exists.
+    FileExists(String),
+    /// The selected benefactors cannot hold the requested size.
+    OutOfSpace { requested: u64, available: u64 },
+    /// The benefactor holding the needed chunk is marked dead.
+    BenefactorDown(BenefactorId),
+    /// Access beyond the fallocated size of a file.
+    OutOfBounds {
+        file: FileId,
+        offset: u64,
+        len: u64,
+        size: u64,
+    },
+    /// Operation needs benefactors but none are registered/alive.
+    NoBenefactors,
+    /// The caller asked for more benefactors than exist.
+    NotEnoughBenefactors { requested: usize, alive: usize },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NoSuchFile => write!(f, "no such file"),
+            StoreError::FileExists(name) => write!(f, "file exists: {name}"),
+            StoreError::OutOfSpace {
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of NVM space: requested {}, available {}",
+                simcore::bytes::human(*requested),
+                simcore::bytes::human(*available)
+            ),
+            StoreError::BenefactorDown(b) => write!(f, "{b} is down"),
+            StoreError::OutOfBounds {
+                file,
+                offset,
+                len,
+                size,
+            } => write!(
+                f,
+                "{file}: access [{offset}, {}) beyond size {size}",
+                offset + len
+            ),
+            StoreError::NoBenefactors => write!(f, "no alive benefactors"),
+            StoreError::NotEnoughBenefactors { requested, alive } => {
+                write!(f, "requested {requested} benefactors, only {alive} alive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+pub type Result<T> = std::result::Result<T, StoreError>;

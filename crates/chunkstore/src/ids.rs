@@ -1,0 +1,33 @@
+//! Typed identifiers for store objects.
+
+use std::fmt;
+
+/// A logical file on the aggregate store.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FileId(pub u64);
+
+/// A stored chunk (the unit of striping, 256 KiB by default).
+/// Chunk ids are global — checkpoint files *link* to the very same chunk
+/// ids as the memory-mapped variable they snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ChunkId(pub u64);
+
+/// Index of a benefactor process within the store.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BenefactorId(pub usize);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file#{}", self.0)
+    }
+}
+impl fmt::Display for ChunkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chunk#{}", self.0)
+    }
+}
+impl fmt::Display for BenefactorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "benefactor#{}", self.0)
+    }
+}

@@ -1,0 +1,28 @@
+//! # chunkstore — the aggregate NVM store
+//!
+//! The distributed storage substrate of the paper (§II, "Background:
+//! Aggregate NVM Store"): compute nodes run *benefactor* processes that
+//! contribute their node-local SSDs to a *manager*, which presents a
+//! unified, striped chunk store. Files are split into 256 KiB chunks,
+//! placed round-robin over a per-file benefactor list; `posix_fallocate`
+//! reserves space without moving data; chunks are reference-counted so
+//! `ssdcheckpoint()` can *link* a variable's chunks into a restart file
+//! and later writes copy-on-write.
+//!
+//! * [`ids`] — typed file/chunk/benefactor identifiers;
+//! * [`benefactor`] — the SSD-backed chunk server;
+//! * [`manager`] — metadata: allocation, striping, health, linking;
+//! * [`store`] — the timed client-facing facade charging RPC, network and
+//!   SSD costs.
+
+pub mod benefactor;
+pub mod error;
+pub mod ids;
+pub mod manager;
+pub mod store;
+
+pub use benefactor::Benefactor;
+pub use error::{Result, StoreError};
+pub use ids::{BenefactorId, ChunkId, FileId};
+pub use manager::{FileMeta, Manager, PlacementPolicy, Slot, StripeSpec};
+pub use store::{AggregateStore, ChunkPayload, StoreConfig};

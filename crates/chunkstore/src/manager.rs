@@ -1,0 +1,587 @@
+//! The store manager: metadata, space allocation, striping, chunk→
+//! benefactor mapping, benefactor health, and the chunk-linking machinery
+//! behind `ssdcheckpoint()`.
+//!
+//! The manager is a pure metadata service — it moves no data. All methods
+//! here are untimed; [`crate::store::AggregateStore`] charges manager-RPC
+//! and data-path costs around them.
+
+use crate::benefactor::Benefactor;
+use crate::error::{Result, StoreError};
+use crate::ids::{BenefactorId, ChunkId, FileId};
+use std::collections::HashMap;
+
+/// How a file's benefactor list is chosen at `fallocate` time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StripeSpec {
+    /// Use every alive benefactor.
+    All,
+    /// Pick `n` alive benefactors round-robin from the manager's rotating
+    /// cursor (spreads files across the store).
+    Count(usize),
+    /// Use exactly these benefactors (the evaluation's `z` configurations
+    /// pin specific nodes).
+    Explicit(Vec<BenefactorId>),
+}
+
+/// Chunk placement within a file's benefactor list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// chunk `i` lives on `stripe[i % stripe.len()]` (the paper's layout).
+    RoundRobin,
+    /// chunk `i` lives on `stripe[perm[i % stripe.len()]]` with a seeded
+    /// per-file permutation — the ablation alternative.
+    RandomPermutation { seed: u64 },
+}
+
+/// One slot of a file's chunk list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Slot {
+    /// Reserved by fallocate, never written: reads as zeros; owns one
+    /// reserved chunk slot on its benefactor.
+    Unmaterialized,
+    /// Frozen zero region inside a linked checkpoint file (no space).
+    Hole,
+    /// A materialized chunk.
+    Chunk(ChunkId),
+}
+
+/// Per-file metadata.
+#[derive(Clone, Debug)]
+pub struct FileMeta {
+    pub name: String,
+    pub size: u64,
+    /// Benefactor list the file stripes over (empty until fallocate).
+    pub stripe: Vec<BenefactorId>,
+    pub slots: Vec<Slot>,
+    pub placement: PlacementPolicy,
+    /// Optional expiry: §III-C's "associating a lifetime with these
+    /// memory-mapped variables, so that they are persistent beyond the
+    /// application run" — and reclaimed once the workflow is done.
+    pub expires_at: Option<simcore::VTime>,
+}
+
+impl FileMeta {
+    /// The benefactor that owns slot `idx`.
+    pub fn home_of_slot(&self, idx: usize) -> BenefactorId {
+        assert!(!self.stripe.is_empty(), "file not fallocated");
+        match self.placement {
+            PlacementPolicy::RoundRobin => self.stripe[idx % self.stripe.len()],
+            PlacementPolicy::RandomPermutation { seed } => {
+                // Deterministic per-(file,index) pick via SplitMix.
+                let h = simcore::rng::child_seed(seed, idx as u64);
+                self.stripe[(h % self.stripe.len() as u64) as usize]
+            }
+        }
+    }
+}
+
+/// The manager's whole state, including the benefactor fleet.
+#[derive(Debug)]
+pub struct Manager {
+    chunk_size: u64,
+    benefactors: Vec<Benefactor>,
+    files: HashMap<FileId, FileMeta>,
+    by_name: HashMap<String, FileId>,
+    chunk_refs: HashMap<ChunkId, u32>,
+    chunk_home: HashMap<ChunkId, BenefactorId>,
+    next_file: u64,
+    next_chunk: u64,
+    stripe_cursor: usize,
+}
+
+impl Manager {
+    pub fn new(chunk_size: u64) -> Self {
+        assert!(chunk_size > 0 && chunk_size.is_power_of_two());
+        Manager {
+            chunk_size,
+            benefactors: Vec::new(),
+            files: HashMap::new(),
+            by_name: HashMap::new(),
+            chunk_refs: HashMap::new(),
+            chunk_home: HashMap::new(),
+            next_file: 0,
+            next_chunk: 0,
+            stripe_cursor: 0,
+        }
+    }
+
+    pub fn chunk_size(&self) -> u64 {
+        self.chunk_size
+    }
+
+    // ----- benefactor fleet -------------------------------------------------
+
+    pub fn register_benefactor(&mut self, b: Benefactor) -> BenefactorId {
+        let id = BenefactorId(self.benefactors.len());
+        self.benefactors.push(b);
+        id
+    }
+
+    pub fn benefactor(&self, id: BenefactorId) -> &Benefactor {
+        &self.benefactors[id.0]
+    }
+
+    pub fn benefactor_mut(&mut self, id: BenefactorId) -> &mut Benefactor {
+        &mut self.benefactors[id.0]
+    }
+
+    pub fn benefactor_count(&self) -> usize {
+        self.benefactors.len()
+    }
+
+    pub fn alive_benefactors(&self) -> Vec<BenefactorId> {
+        self.benefactors
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.is_alive())
+            .map(|(i, _)| BenefactorId(i))
+            .collect()
+    }
+
+    /// Status-monitoring sweep: total/free space over alive benefactors.
+    pub fn space(&self) -> (u64, u64) {
+        let mut total = 0;
+        let mut free = 0;
+        for b in self.benefactors.iter().filter(|b| b.is_alive()) {
+            total += b.capacity();
+            free += b.free();
+        }
+        (total, free)
+    }
+
+    // ----- files ------------------------------------------------------------
+
+    pub fn create_file(&mut self, name: &str) -> Result<FileId> {
+        if self.by_name.contains_key(name) {
+            return Err(StoreError::FileExists(name.to_string()));
+        }
+        let id = FileId(self.next_file);
+        self.next_file += 1;
+        self.files.insert(
+            id,
+            FileMeta {
+                name: name.to_string(),
+                size: 0,
+                stripe: Vec::new(),
+                slots: Vec::new(),
+                placement: PlacementPolicy::RoundRobin,
+                expires_at: None,
+            },
+        );
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    pub fn lookup(&self, name: &str) -> Option<FileId> {
+        self.by_name.get(name).copied()
+    }
+
+    pub fn file(&self, id: FileId) -> Result<&FileMeta> {
+        self.files.get(&id).ok_or(StoreError::NoSuchFile)
+    }
+
+    fn file_mut(&mut self, id: FileId) -> Result<&mut FileMeta> {
+        self.files.get_mut(&id).ok_or(StoreError::NoSuchFile)
+    }
+
+    /// `posix_fallocate`: fix the file size, pick the stripe and reserve
+    /// one chunk slot per stripe position on the owning benefactors.
+    pub fn fallocate(
+        &mut self,
+        id: FileId,
+        size: u64,
+        spec: StripeSpec,
+        placement: PlacementPolicy,
+    ) -> Result<()> {
+        let chunk_size = self.chunk_size;
+        let n_slots = size.div_ceil(chunk_size) as usize;
+        let stripe = self.resolve_stripe(spec)?;
+
+        // Count slots per benefactor under the chosen placement, then
+        // check space before mutating anything.
+        let meta_preview = FileMeta {
+            name: String::new(),
+            size,
+            stripe: stripe.clone(),
+            slots: vec![Slot::Unmaterialized; n_slots],
+            placement,
+            expires_at: None,
+        };
+        let mut per_bene: HashMap<BenefactorId, u64> = HashMap::new();
+        for i in 0..n_slots {
+            *per_bene.entry(meta_preview.home_of_slot(i)).or_insert(0) += 1;
+        }
+        for (&b, &slots) in &per_bene {
+            let bene = &self.benefactors[b.0];
+            if !bene.is_alive() {
+                return Err(StoreError::BenefactorDown(b));
+            }
+            if bene.free() < slots * chunk_size {
+                return Err(StoreError::OutOfSpace {
+                    requested: slots * chunk_size,
+                    available: bene.free(),
+                });
+            }
+        }
+        for (&b, &slots) in &per_bene {
+            self.benefactors[b.0].reserve_slots(slots);
+        }
+
+        let meta = self.file_mut(id)?;
+        assert!(
+            meta.slots.is_empty() && meta.size == 0,
+            "fallocate on an already-sized file"
+        );
+        meta.size = size;
+        meta.stripe = stripe;
+        meta.slots = vec![Slot::Unmaterialized; n_slots];
+        meta.placement = placement;
+        Ok(())
+    }
+
+    fn resolve_stripe(&mut self, spec: StripeSpec) -> Result<Vec<BenefactorId>> {
+        let alive = self.alive_benefactors();
+        if alive.is_empty() {
+            return Err(StoreError::NoBenefactors);
+        }
+        match spec {
+            StripeSpec::All => {
+                // Rotate the list per file so concurrent writers of
+                // equally-striped files do not hit the same benefactor in
+                // lockstep (the manager's load balancing).
+                let start = self.stripe_cursor % alive.len();
+                self.stripe_cursor = self.stripe_cursor.wrapping_add(1);
+                Ok((0..alive.len())
+                    .map(|i| alive[(start + i) % alive.len()])
+                    .collect())
+            }
+            StripeSpec::Count(n) => {
+                if n == 0 || n > alive.len() {
+                    return Err(StoreError::NotEnoughBenefactors {
+                        requested: n,
+                        alive: alive.len(),
+                    });
+                }
+                let start = self.stripe_cursor % alive.len();
+                self.stripe_cursor = self.stripe_cursor.wrapping_add(n);
+                Ok((0..n).map(|i| alive[(start + i) % alive.len()]).collect())
+            }
+            StripeSpec::Explicit(list) => {
+                for &b in &list {
+                    if b.0 >= self.benefactors.len() {
+                        return Err(StoreError::NoBenefactors);
+                    }
+                    if !self.benefactors[b.0].is_alive() {
+                        return Err(StoreError::BenefactorDown(b));
+                    }
+                }
+                if list.is_empty() {
+                    return Err(StoreError::NoBenefactors);
+                }
+                Ok(list)
+            }
+        }
+    }
+
+    /// Delete a file: release reservations and drop chunk references.
+    pub fn delete_file(&mut self, id: FileId) -> Result<()> {
+        let meta = self.files.remove(&id).ok_or(StoreError::NoSuchFile)?;
+        self.by_name.remove(&meta.name);
+        for (i, slot) in meta.slots.iter().enumerate() {
+            match slot {
+                Slot::Unmaterialized => {
+                    let home = meta.home_of_slot(i);
+                    self.benefactors[home.0].release_slots(1);
+                }
+                Slot::Hole => {}
+                Slot::Chunk(c) => self.decref_chunk(*c),
+            }
+        }
+        Ok(())
+    }
+
+    // ----- chunk reference counting ------------------------------------------
+
+    pub(crate) fn incref_chunk(&mut self, c: ChunkId) {
+        *self.chunk_refs.get_mut(&c).expect("incref unknown chunk") += 1;
+    }
+
+    pub(crate) fn decref_chunk(&mut self, c: ChunkId) {
+        let refs = self.chunk_refs.get_mut(&c).expect("decref unknown chunk");
+        *refs -= 1;
+        if *refs == 0 {
+            self.chunk_refs.remove(&c);
+            let home = self.chunk_home.remove(&c).expect("chunk without home");
+            self.benefactors[home.0].drop_chunk(c);
+        }
+    }
+
+    pub fn chunk_refcount(&self, c: ChunkId) -> u32 {
+        self.chunk_refs.get(&c).copied().unwrap_or(0)
+    }
+
+    pub fn chunk_home(&self, c: ChunkId) -> Option<BenefactorId> {
+        self.chunk_home.get(&c).copied()
+    }
+
+    pub(crate) fn new_chunk_id(&mut self, home: BenefactorId) -> ChunkId {
+        let id = ChunkId(self.next_chunk);
+        self.next_chunk += 1;
+        self.chunk_refs.insert(id, 1);
+        self.chunk_home.insert(id, home);
+        id
+    }
+
+    /// Record that file `id` slot `idx` now holds `chunk` (refcount was
+    /// already set up by the caller).
+    pub(crate) fn set_slot(&mut self, id: FileId, idx: usize, slot: Slot) {
+        let meta = self.files.get_mut(&id).expect("set_slot on missing file");
+        meta.slots[idx] = slot;
+    }
+
+    /// Link every slot of `src` to the end of `dst` — the zero-copy
+    /// checkpoint merge of §III-E. Materialized chunks are shared by
+    /// reference (incref); unwritten regions freeze as holes.
+    pub fn link_file(&mut self, dst: FileId, src: FileId) -> Result<()> {
+        let src_meta = self.file(src)?.clone();
+        let mut appended = Vec::with_capacity(src_meta.slots.len());
+        for slot in &src_meta.slots {
+            match slot {
+                Slot::Unmaterialized | Slot::Hole => appended.push(Slot::Hole),
+                Slot::Chunk(c) => {
+                    self.incref_chunk(*c);
+                    appended.push(Slot::Chunk(*c));
+                }
+            }
+        }
+        let chunk_size = self.chunk_size;
+        let dst_meta = self.file_mut(dst)?;
+        // A linked region is sized in whole chunks.
+        dst_meta.size = dst_meta.slots.len() as u64 * chunk_size + src_meta.size;
+        dst_meta.slots.extend(appended);
+        Ok(())
+    }
+
+    /// Total bytes of distinct materialized chunks (deduplicated storage).
+    pub fn physical_bytes(&self) -> u64 {
+        self.chunk_refs.len() as u64 * self.chunk_size
+    }
+
+    /// Set (or clear) a file's lifetime.
+    pub fn set_lifetime(&mut self, id: FileId, expires_at: Option<simcore::VTime>) -> Result<()> {
+        self.file_mut(id)?.expires_at = expires_at;
+        Ok(())
+    }
+
+    /// Reclaim every file whose lifetime has passed; returns how many
+    /// were deleted. The manager's periodic housekeeping sweep.
+    pub fn expire_files(&mut self, now: simcore::VTime) -> usize {
+        let expired: Vec<FileId> = self
+            .files
+            .iter()
+            .filter(|(_, m)| m.expires_at.is_some_and(|t| t <= now))
+            .map(|(&id, _)| id)
+            .collect();
+        let n = expired.len();
+        for id in expired {
+            self.delete_file(id).expect("expired file exists");
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use devices::{Ssd, INTEL_X25E};
+    use simcore::{StatsRegistry, VTime};
+
+    const CHUNK: u64 = 256 * 1024;
+
+    fn mgr(benefactors: usize, cap_chunks: u64) -> Manager {
+        let stats = StatsRegistry::new();
+        let mut m = Manager::new(CHUNK);
+        for i in 0..benefactors {
+            let ssd = Ssd::new(&format!("b{i}.ssd"), INTEL_X25E, &stats);
+            m.register_benefactor(Benefactor::new(i, ssd, cap_chunks * CHUNK, CHUNK));
+        }
+        m
+    }
+
+    fn materialize(m: &mut Manager, f: FileId, idx: usize) -> ChunkId {
+        let home = m.file(f).unwrap().home_of_slot(idx);
+        let c = m.new_chunk_id(home);
+        m.benefactor_mut(home).store_chunk(
+            VTime::ZERO,
+            c,
+            vec![0u8; CHUNK as usize].into_boxed_slice(),
+            CHUNK,
+            true,
+        );
+        m.set_slot(f, idx, Slot::Chunk(c));
+        c
+    }
+
+    #[test]
+    fn create_lookup_delete() {
+        let mut m = mgr(2, 16);
+        let f = m.create_file("/x").unwrap();
+        assert_eq!(m.lookup("/x"), Some(f));
+        assert_eq!(
+            m.create_file("/x").unwrap_err(),
+            StoreError::FileExists("/x".into())
+        );
+        m.delete_file(f).unwrap();
+        assert_eq!(m.lookup("/x"), None);
+        assert_eq!(m.delete_file(f).unwrap_err(), StoreError::NoSuchFile);
+    }
+
+    #[test]
+    fn fallocate_reserves_striped_slots() {
+        let mut m = mgr(2, 16);
+        let f = m.create_file("/x").unwrap();
+        m.fallocate(f, 4 * CHUNK, StripeSpec::All, PlacementPolicy::RoundRobin)
+            .unwrap();
+        // 4 slots over 2 benefactors: 2 each.
+        assert_eq!(m.benefactor(BenefactorId(0)).used(), 2 * CHUNK);
+        assert_eq!(m.benefactor(BenefactorId(1)).used(), 2 * CHUNK);
+        let meta = m.file(f).unwrap();
+        assert_eq!(meta.slots.len(), 4);
+        assert_eq!(meta.home_of_slot(0), BenefactorId(0));
+        assert_eq!(meta.home_of_slot(1), BenefactorId(1));
+        assert_eq!(meta.home_of_slot(2), BenefactorId(0));
+    }
+
+    #[test]
+    fn fallocate_partial_chunk_rounds_up() {
+        let mut m = mgr(1, 16);
+        let f = m.create_file("/x").unwrap();
+        m.fallocate(f, CHUNK + 1, StripeSpec::All, PlacementPolicy::RoundRobin)
+            .unwrap();
+        assert_eq!(m.file(f).unwrap().slots.len(), 2);
+    }
+
+    #[test]
+    fn fallocate_out_of_space() {
+        let mut m = mgr(1, 2);
+        let f = m.create_file("/x").unwrap();
+        let err = m
+            .fallocate(f, 3 * CHUNK, StripeSpec::All, PlacementPolicy::RoundRobin)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::OutOfSpace { .. }));
+        // Nothing was reserved on failure.
+        assert_eq!(m.benefactor(BenefactorId(0)).used(), 0);
+    }
+
+    #[test]
+    fn stripe_count_selects_subset() {
+        let mut m = mgr(4, 16);
+        let f = m.create_file("/x").unwrap();
+        m.fallocate(f, 8 * CHUNK, StripeSpec::Count(2), PlacementPolicy::RoundRobin)
+            .unwrap();
+        assert_eq!(m.file(f).unwrap().stripe.len(), 2);
+        let y = m.create_file("/y").unwrap();
+        let err = m
+            .fallocate(y, CHUNK, StripeSpec::Count(9), PlacementPolicy::RoundRobin)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::NotEnoughBenefactors { .. }));
+    }
+
+    #[test]
+    fn explicit_stripe_respected() {
+        let mut m = mgr(4, 16);
+        let f = m.create_file("/x").unwrap();
+        m.fallocate(
+            f,
+            4 * CHUNK,
+            StripeSpec::Explicit(vec![BenefactorId(3), BenefactorId(1)]),
+            PlacementPolicy::RoundRobin,
+        )
+        .unwrap();
+        let meta = m.file(f).unwrap();
+        assert_eq!(meta.home_of_slot(0), BenefactorId(3));
+        assert_eq!(meta.home_of_slot(1), BenefactorId(1));
+    }
+
+    #[test]
+    fn dead_benefactor_rejected() {
+        let mut m = mgr(2, 16);
+        m.benefactor_mut(BenefactorId(1)).set_alive(false);
+        let f = m.create_file("/x").unwrap();
+        let err = m
+            .fallocate(
+                f,
+                CHUNK,
+                StripeSpec::Explicit(vec![BenefactorId(1)]),
+                PlacementPolicy::RoundRobin,
+            )
+            .unwrap_err();
+        assert_eq!(err, StoreError::BenefactorDown(BenefactorId(1)));
+        // Count(n) only sees the alive one.
+        assert_eq!(m.alive_benefactors(), vec![BenefactorId(0)]);
+    }
+
+    #[test]
+    fn random_placement_is_deterministic() {
+        let mut m = mgr(4, 64);
+        let f = m.create_file("/x").unwrap();
+        m.fallocate(
+            f,
+            32 * CHUNK,
+            StripeSpec::All,
+            PlacementPolicy::RandomPermutation { seed: 7 },
+        )
+        .unwrap();
+        let meta = m.file(f).unwrap();
+        let homes: Vec<_> = (0..32).map(|i| meta.home_of_slot(i)).collect();
+        let homes2: Vec<_> = (0..32).map(|i| meta.home_of_slot(i)).collect();
+        assert_eq!(homes, homes2);
+        // Not all on one benefactor.
+        assert!(homes.iter().any(|&h| h != homes[0]));
+    }
+
+    #[test]
+    fn link_file_shares_chunks_and_freezes_holes() {
+        let mut m = mgr(2, 16);
+        let var = m.create_file("/var").unwrap();
+        m.fallocate(var, 3 * CHUNK, StripeSpec::All, PlacementPolicy::RoundRobin)
+            .unwrap();
+        let c0 = materialize(&mut m, var, 0);
+        // Slot 1 stays unmaterialized; slot 2 materialized.
+        let c2 = materialize(&mut m, var, 2);
+
+        let ckpt = m.create_file("/ckpt").unwrap();
+        m.link_file(ckpt, var).unwrap();
+        assert_eq!(m.chunk_refcount(c0), 2);
+        assert_eq!(m.chunk_refcount(c2), 2);
+        let meta = m.file(ckpt).unwrap();
+        assert_eq!(meta.slots[0], Slot::Chunk(c0));
+        assert_eq!(meta.slots[1], Slot::Hole);
+        assert_eq!(meta.slots[2], Slot::Chunk(c2));
+
+        // No extra physical space for shared chunks.
+        assert_eq!(m.physical_bytes(), 2 * CHUNK);
+
+        // Deleting the variable keeps the checkpoint intact.
+        m.delete_file(var).unwrap();
+        assert_eq!(m.chunk_refcount(c0), 1);
+        assert!(m.benefactor(m.chunk_home(c0).unwrap()).has_chunk(c0));
+        // Deleting the checkpoint frees everything.
+        m.delete_file(ckpt).unwrap();
+        assert_eq!(m.chunk_refcount(c0), 0);
+        assert_eq!(m.physical_bytes(), 0);
+    }
+
+    #[test]
+    fn space_report() {
+        let mut m = mgr(2, 4);
+        let (total, free) = m.space();
+        assert_eq!(total, 8 * CHUNK);
+        assert_eq!(free, 8 * CHUNK);
+        let f = m.create_file("/x").unwrap();
+        m.fallocate(f, 2 * CHUNK, StripeSpec::All, PlacementPolicy::RoundRobin)
+            .unwrap();
+        assert_eq!(m.space().1, 6 * CHUNK);
+    }
+}

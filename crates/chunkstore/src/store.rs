@@ -1,0 +1,638 @@
+//! The timed facade over the manager + benefactor fleet: every operation
+//! takes the client's node and current virtual time, charges manager-RPC,
+//! network and SSD costs, and returns the completion time.
+//!
+//! This is the interface the FUSE-like client layer (`fusemm`) talks to —
+//! the simulated equivalent of the RPC protocol between a compute node and
+//! the aggregate store.
+
+use crate::benefactor::Benefactor;
+use crate::error::{Result, StoreError};
+use crate::ids::{BenefactorId, FileId};
+use crate::manager::{Manager, PlacementPolicy, Slot, StripeSpec};
+use devices::WearReport;
+use netsim::Network;
+use parking_lot::{Mutex, MutexGuard};
+use simcore::{Counter, StatsRegistry, VTime};
+use std::sync::Arc;
+
+/// Aggregate store configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Striping unit; the paper uses 256 KiB.
+    pub chunk_size: u64,
+    /// Dirty-tracking granularity; the paper uses the 4 KiB OS page.
+    pub page_size: u64,
+    /// Cluster node hosting the manager process.
+    pub manager_node: usize,
+    /// Size of a manager-RPC request/response message.
+    pub rpc_bytes: u64,
+    /// Manager CPU time per metadata operation.
+    pub mgr_cpu: VTime,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            chunk_size: 256 * 1024,
+            page_size: 4096,
+            manager_node: 0,
+            rpc_bytes: 256,
+            mgr_cpu: VTime::from_micros(10),
+        }
+    }
+}
+
+/// What a chunk fetch returns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChunkPayload {
+    /// The chunk was never written: the client materializes zeros locally
+    /// (a file-hole read — no data crosses the network).
+    Zeros,
+    /// Chunk bytes shipped from its benefactor.
+    Data(Box<[u8]>),
+}
+
+/// The aggregate NVM store, shared by every client on the cluster.
+#[derive(Clone)]
+pub struct AggregateStore {
+    mgr: Arc<Mutex<Manager>>,
+    net: Network,
+    cfg: StoreConfig,
+    mgr_rpcs: Counter,
+    chunk_fetches: Counter,
+    zero_fills: Counter,
+    bytes_to_clients: Counter,
+    bytes_from_clients: Counter,
+    cow_clones: Counter,
+}
+
+impl AggregateStore {
+    pub fn new(cfg: StoreConfig, net: Network, stats: &StatsRegistry) -> Self {
+        AggregateStore {
+            mgr: Arc::new(Mutex::new(Manager::new(cfg.chunk_size))),
+            net,
+            cfg,
+            mgr_rpcs: stats.counter("store.mgr_rpcs"),
+            chunk_fetches: stats.counter("store.chunk_fetches"),
+            zero_fills: stats.counter("store.zero_fills"),
+            bytes_to_clients: stats.counter("store.bytes_to_clients"),
+            bytes_from_clients: stats.counter("store.bytes_from_clients"),
+            cow_clones: stats.counter("store.cow_clones"),
+        }
+    }
+
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Direct manager access for registration, administration and tests.
+    pub fn manager(&self) -> MutexGuard<'_, Manager> {
+        self.mgr.lock()
+    }
+
+    /// Register a benefactor contributing `capacity` bytes of `node`'s SSD.
+    pub fn add_benefactor(&self, b: Benefactor) -> BenefactorId {
+        self.mgr.lock().register_benefactor(b)
+    }
+
+    /// Charge one metadata round-trip to the manager.
+    fn mgr_rpc(&self, t: VTime, client_node: usize) -> VTime {
+        self.mgr_rpcs.inc();
+        let req = self
+            .net
+            .transfer_at(t, client_node, self.cfg.manager_node, self.cfg.rpc_bytes);
+        let done = req.arrived + self.cfg.mgr_cpu;
+        let resp =
+            self.net
+                .transfer_at(done, self.cfg.manager_node, client_node, self.cfg.rpc_bytes);
+        resp.arrived
+    }
+
+    // ----- control plane ---------------------------------------------------
+
+    pub fn create_file(&self, t: VTime, client_node: usize, name: &str) -> Result<(VTime, FileId)> {
+        let t = self.mgr_rpc(t, client_node);
+        let id = self.mgr.lock().create_file(name)?;
+        Ok((t, id))
+    }
+
+    pub fn fallocate(
+        &self,
+        t: VTime,
+        client_node: usize,
+        file: FileId,
+        size: u64,
+        spec: StripeSpec,
+        placement: PlacementPolicy,
+    ) -> Result<VTime> {
+        let t = self.mgr_rpc(t, client_node);
+        self.mgr.lock().fallocate(file, size, spec, placement)?;
+        Ok(t)
+    }
+
+    pub fn open(&self, t: VTime, client_node: usize, name: &str) -> (VTime, Option<FileId>) {
+        let t = self.mgr_rpc(t, client_node);
+        (t, self.mgr.lock().lookup(name))
+    }
+
+    pub fn delete(&self, t: VTime, client_node: usize, file: FileId) -> Result<VTime> {
+        let t = self.mgr_rpc(t, client_node);
+        self.mgr.lock().delete_file(file)?;
+        Ok(t)
+    }
+
+    /// Zero-copy checkpoint linking: append `src`'s chunks to `dst`.
+    pub fn link_file(&self, t: VTime, client_node: usize, dst: FileId, src: FileId) -> Result<VTime> {
+        let t = self.mgr_rpc(t, client_node);
+        self.mgr.lock().link_file(dst, src)?;
+        Ok(t)
+    }
+
+    /// Untimed metadata peek (clients cache sizes at open/malloc time).
+    pub fn file_size(&self, file: FileId) -> Result<u64> {
+        Ok(self.mgr.lock().file(file)?.size)
+    }
+
+    pub fn chunk_count(&self, file: FileId) -> Result<usize> {
+        Ok(self.mgr.lock().file(file)?.slots.len())
+    }
+
+    // ----- data plane ------------------------------------------------------
+
+    /// Fetch chunk `idx` of `file` to `client_node`.
+    ///
+    /// Cost model (paper §III-D): a manager RPC resolves the chunk to a
+    /// benefactor, then the client pulls the chunk directly from that
+    /// benefactor — request message, SSD read, data transfer back.
+    pub fn fetch_chunk(
+        &self,
+        t: VTime,
+        client_node: usize,
+        file: FileId,
+        idx: usize,
+    ) -> Result<(VTime, ChunkPayload)> {
+        let t = self.mgr_rpc(t, client_node);
+        self.chunk_fetches.inc();
+        let (slot, home_node, home) = {
+            let mgr = self.mgr.lock();
+            let meta = mgr.file(file)?;
+            if idx >= meta.slots.len() {
+                return Err(StoreError::OutOfBounds {
+                    file,
+                    offset: idx as u64 * self.cfg.chunk_size,
+                    len: self.cfg.chunk_size,
+                    size: meta.size,
+                });
+            }
+            match meta.slots[idx] {
+                Slot::Unmaterialized | Slot::Hole => (None, 0, BenefactorId(0)),
+                Slot::Chunk(c) => {
+                    let home = mgr.chunk_home(c).expect("chunk without home");
+                    if !mgr.benefactor(home).is_alive() {
+                        return Err(StoreError::BenefactorDown(home));
+                    }
+                    (Some(c), mgr.benefactor(home).node, home)
+                }
+            }
+        };
+
+        match slot {
+            None => {
+                // Hole: the manager's reply says "no data"; zeros are
+                // materialized client-side for free.
+                self.zero_fills.inc();
+                Ok((t, ChunkPayload::Zeros))
+            }
+            Some(c) => {
+                // Request message to the benefactor…
+                let req = self
+                    .net
+                    .transfer_at(t, client_node, home_node, self.cfg.rpc_bytes);
+                // …SSD read at the benefactor…
+                let (grant, data) = {
+                    let mgr = self.mgr.lock();
+                    mgr.benefactor(home).read_chunk(req.arrived, c)
+                };
+                // …chunk shipped back.
+                let resp = self
+                    .net
+                    .transfer_at(grant.end, home_node, client_node, self.cfg.chunk_size);
+                self.bytes_to_clients.add(self.cfg.chunk_size);
+                Ok((resp.arrived, ChunkPayload::Data(data)))
+            }
+        }
+    }
+
+    /// Write back dirty pages of chunk `idx` (the FUSE eviction path).
+    ///
+    /// `updates` are `(offset_within_chunk, bytes)` runs. Handles all
+    /// three slot states:
+    ///
+    /// * unmaterialized → materialize a fresh chunk (zeros + updates);
+    /// * exclusive chunk → in-place page update;
+    /// * shared chunk (checkpoint-linked) → copy-on-write: the benefactor
+    ///   clones the chunk locally, the updates land on the clone, and the
+    ///   file's slot is switched while the checkpoint keeps the original.
+    pub fn write_pages(
+        &self,
+        t: VTime,
+        client_node: usize,
+        file: FileId,
+        idx: usize,
+        updates: &[(u64, &[u8])],
+    ) -> Result<VTime> {
+        let dirty_bytes: u64 = updates.iter().map(|(_, d)| d.len() as u64).sum();
+        assert!(dirty_bytes > 0, "write_pages with no updates");
+        for (off, data) in updates {
+            assert!(
+                off + data.len() as u64 <= self.cfg.chunk_size,
+                "update outside chunk"
+            );
+        }
+
+        let t = self.mgr_rpc(t, client_node);
+        let mut mgr = self.mgr.lock();
+        let meta = mgr.file(file)?;
+        if idx >= meta.slots.len() {
+            return Err(StoreError::OutOfBounds {
+                file,
+                offset: idx as u64 * self.cfg.chunk_size,
+                len: self.cfg.chunk_size,
+                size: meta.size,
+            });
+        }
+        let slot = meta.slots[idx];
+        // Holes (zero regions inside linked checkpoint files) carry no
+        // reservation and may sit in a file with no stripe of its own;
+        // writing one allocates fresh space wherever it fits.
+        let home = match slot {
+            Slot::Hole => {
+                let alive = mgr.alive_benefactors();
+                alive
+                    .into_iter()
+                    .find(|b| mgr.benefactor(*b).can_allocate_chunk(false))
+                    .ok_or(StoreError::OutOfSpace {
+                        requested: self.cfg.chunk_size,
+                        available: 0,
+                    })?
+            }
+            // A materialized chunk's authoritative home is the chunk map
+            // (a linked slot's position in *this* file says nothing about
+            // where the shared chunk actually lives).
+            Slot::Chunk(c) => mgr.chunk_home(c).expect("chunk has a home"),
+            Slot::Unmaterialized => meta.home_of_slot(idx),
+        };
+        let home_node = mgr.benefactor(home).node;
+        if !mgr.benefactor(home).is_alive() {
+            return Err(StoreError::BenefactorDown(home));
+        }
+
+        // Ship the dirty bytes to the benefactor.
+        let xfer = self.net.transfer_at(t, client_node, home_node, dirty_bytes);
+        self.bytes_from_clients.add(dirty_bytes);
+        let t_arrive = xfer.arrived;
+
+        let end = match slot {
+            Slot::Unmaterialized => {
+                // First write: compose zeros + updates, consume reservation.
+                let mut data = vec![0u8; self.cfg.chunk_size as usize].into_boxed_slice();
+                for (off, d) in updates {
+                    data[*off as usize..*off as usize + d.len()].copy_from_slice(d);
+                }
+                let c = mgr.new_chunk_id(home);
+                let g = mgr
+                    .benefactor_mut(home)
+                    .store_chunk(t_arrive, c, data, dirty_bytes, true);
+                mgr.set_slot(file, idx, Slot::Chunk(c));
+                g.end
+            }
+            Slot::Hole => {
+                // Materialize the zero region as a fresh chunk (no
+                // reservation to consume — space was checked above).
+                let mut data = vec![0u8; self.cfg.chunk_size as usize].into_boxed_slice();
+                for (off, d) in updates {
+                    data[*off as usize..*off as usize + d.len()].copy_from_slice(d);
+                }
+                let c = mgr.new_chunk_id(home);
+                let g = mgr
+                    .benefactor_mut(home)
+                    .store_chunk(t_arrive, c, data, dirty_bytes, false);
+                mgr.set_slot(file, idx, Slot::Chunk(c));
+                g.end
+            }
+            Slot::Chunk(c) => {
+                if mgr.chunk_refcount(c) > 1 {
+                    // COW: clone on the same benefactor, then update.
+                    if !mgr.benefactor(home).can_allocate_chunk(false) {
+                        return Err(StoreError::OutOfSpace {
+                            requested: self.cfg.chunk_size,
+                            available: mgr.benefactor(home).free(),
+                        });
+                    }
+                    self.cow_clones.inc();
+                    let c_new = mgr.new_chunk_id(home);
+                    let g = mgr.benefactor_mut(home).clone_chunk(t_arrive, c, c_new);
+                    let g2 = mgr.benefactor_mut(home).update_chunk(g.end, c_new, updates);
+                    mgr.set_slot(file, idx, Slot::Chunk(c_new));
+                    mgr.decref_chunk(c);
+                    g2.end
+                } else {
+                    mgr.benefactor_mut(home).update_chunk(t_arrive, c, updates).end
+                }
+            }
+        };
+        Ok(end)
+    }
+
+    /// Bulk sequential write (checkpoint DRAM dumps, workload loads):
+    /// splits `data` into per-chunk updates.
+    pub fn write_span(
+        &self,
+        mut t: VTime,
+        client_node: usize,
+        file: FileId,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<VTime> {
+        let size = self.file_size(file)?;
+        if offset + data.len() as u64 > size {
+            return Err(StoreError::OutOfBounds {
+                file,
+                offset,
+                len: data.len() as u64,
+                size,
+            });
+        }
+        let cs = self.cfg.chunk_size;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let abs = offset + pos as u64;
+            let idx = (abs / cs) as usize;
+            let within = abs % cs;
+            let take = ((cs - within) as usize).min(data.len() - pos);
+            t = self.write_pages(
+                t,
+                client_node,
+                file,
+                idx,
+                &[(within, &data[pos..pos + take])],
+            )?;
+            pos += take;
+        }
+        Ok(t)
+    }
+
+    /// Bulk sequential read into `buf` (restart path).
+    pub fn read_span(
+        &self,
+        mut t: VTime,
+        client_node: usize,
+        file: FileId,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<VTime> {
+        let size = self.file_size(file)?;
+        if offset + buf.len() as u64 > size {
+            return Err(StoreError::OutOfBounds {
+                file,
+                offset,
+                len: buf.len() as u64,
+                size,
+            });
+        }
+        let cs = self.cfg.chunk_size;
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let abs = offset + pos as u64;
+            let idx = (abs / cs) as usize;
+            let within = (abs % cs) as usize;
+            let take = (cs as usize - within).min(buf.len() - pos);
+            let (t2, payload) = self.fetch_chunk(t, client_node, file, idx)?;
+            t = t2;
+            match payload {
+                ChunkPayload::Zeros => buf[pos..pos + take].fill(0),
+                ChunkPayload::Data(chunk) => {
+                    buf[pos..pos + take].copy_from_slice(&chunk[within..within + take])
+                }
+            }
+            pos += take;
+        }
+        Ok(t)
+    }
+
+    // ----- administration ---------------------------------------------------
+
+    /// Simulate a benefactor failure (or decommission).
+    pub fn set_benefactor_alive(&self, id: BenefactorId, alive: bool) {
+        self.mgr.lock().benefactor_mut(id).set_alive(alive);
+    }
+
+    /// Per-benefactor SSD wear, for the lifetime-optimization analyses.
+    pub fn wear_reports(&self) -> Vec<(usize, WearReport)> {
+        let mgr = self.mgr.lock();
+        (0..mgr.benefactor_count())
+            .map(|i| {
+                let b = mgr.benefactor(BenefactorId(i));
+                (b.node, b.ssd().wear())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use devices::{Ssd, INTEL_X25E};
+    use netsim::NetConfig;
+    use simcore::time::bytes::mib;
+
+    const CHUNK: u64 = 256 * 1024;
+
+    /// A 4-node store: manager on node 0, benefactors on nodes 1 and 2,
+    /// client drives from node 3.
+    fn store() -> (AggregateStore, StatsRegistry) {
+        let stats = StatsRegistry::new();
+        let net = Network::new(4, NetConfig::default(), &stats);
+        let store = AggregateStore::new(StoreConfig::default(), net, &stats);
+        for (i, node) in [1usize, 2].iter().enumerate() {
+            let ssd = Ssd::new(&format!("b{i}.ssd"), INTEL_X25E, &stats);
+            store.add_benefactor(Benefactor::new(*node, ssd, mib(64), CHUNK));
+        }
+        (store, stats)
+    }
+
+    fn make_file(store: &AggregateStore, name: &str, size: u64) -> FileId {
+        let (t, f) = store.create_file(VTime::ZERO, 3, name).unwrap();
+        store
+            .fallocate(t, 3, f, size, StripeSpec::All, PlacementPolicy::RoundRobin)
+            .unwrap();
+        f
+    }
+
+    #[test]
+    fn hole_read_is_zeros_without_data_traffic() {
+        let (store, stats) = store();
+        let f = make_file(&store, "/m", 2 * CHUNK);
+        let before = stats.get("net.bytes");
+        let (_, payload) = store.fetch_chunk(VTime::ZERO, 3, f, 0).unwrap();
+        assert_eq!(payload, ChunkPayload::Zeros);
+        // Only RPC bytes moved (2 × 256).
+        assert_eq!(stats.get("net.bytes") - before, 512);
+        assert_eq!(stats.get("store.zero_fills"), 1);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let (store, _) = store();
+        let f = make_file(&store, "/m", 2 * CHUNK);
+        let page = vec![7u8; 4096];
+        let t = store
+            .write_pages(VTime::ZERO, 3, f, 0, &[(8192, &page)])
+            .unwrap();
+        let (_, payload) = store.fetch_chunk(t, 3, f, 0).unwrap();
+        match payload {
+            ChunkPayload::Data(data) => {
+                assert_eq!(data[8192], 7);
+                assert_eq!(data[8192 + 4095], 7);
+                assert_eq!(data[0], 0);
+            }
+            _ => panic!("expected data"),
+        }
+    }
+
+    #[test]
+    fn remote_fetch_costs_network_plus_ssd() {
+        let (store, _) = store();
+        let f = make_file(&store, "/m", CHUNK);
+        let page = vec![1u8; 4096];
+        let t0 = store
+            .write_pages(VTime::ZERO, 3, f, 0, &[(0, &page)])
+            .unwrap();
+        let (t1, _) = store.fetch_chunk(t0, 3, f, 0).unwrap();
+        let elapsed = t1 - t0;
+        // Lower bound: SSD latency + chunk/ssd_read_bw + chunk/net_bw.
+        let ssd = VTime::from_micros(75) + simcore::Bandwidth::mb_per_sec(250.0).time_for(CHUNK);
+        let net = simcore::Bandwidth::gbit_per_sec(2.0).time_for(CHUNK);
+        assert!(elapsed >= ssd + net, "elapsed {elapsed}");
+        // And not wildly more (RPCs and latencies only).
+        assert!(elapsed < ssd + net + VTime::from_millis(2), "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn write_span_and_read_span_roundtrip() {
+        let (store, _) = store();
+        let f = make_file(&store, "/m", 3 * CHUNK);
+        // Unaligned span crossing chunk boundaries.
+        let data: Vec<u8> = (0..(CHUNK as usize + 9000)).map(|i| (i % 251) as u8).collect();
+        let t = store.write_span(VTime::ZERO, 3, f, 5000, &data).unwrap();
+        let mut out = vec![0u8; data.len()];
+        store.read_span(t, 3, f, 5000, &mut out).unwrap();
+        assert_eq!(out, data);
+        // Outside the written span everything is still zero.
+        let mut head = vec![0xAAu8; 5000];
+        store.read_span(t, 3, f, 0, &mut head).unwrap();
+        assert!(head.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let (store, _) = store();
+        let f = make_file(&store, "/m", CHUNK);
+        let err = store.fetch_chunk(VTime::ZERO, 3, f, 1).unwrap_err();
+        assert!(matches!(err, StoreError::OutOfBounds { .. }));
+        let err = store
+            .write_span(VTime::ZERO, 3, f, CHUNK - 1, &[0, 0])
+            .unwrap_err();
+        assert!(matches!(err, StoreError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn cow_preserves_checkpoint_content() {
+        let (store, stats) = store();
+        let f = make_file(&store, "/var", CHUNK);
+        let page_a = vec![0xAu8; 4096];
+        let mut t = store
+            .write_pages(VTime::ZERO, 3, f, 0, &[(0, &page_a)])
+            .unwrap();
+
+        // Checkpoint: link the variable's chunks into /ckpt.
+        let (t2, ckpt) = store.create_file(t, 3, "/ckpt").unwrap();
+        t = store.link_file(t2, 3, ckpt, f).unwrap();
+
+        // Modify the variable after the checkpoint.
+        let page_b = vec![0xBu8; 4096];
+        t = store.write_pages(t, 3, f, 0, &[(0, &page_b)]).unwrap();
+        assert_eq!(stats.get("store.cow_clones"), 1);
+
+        // Variable sees new data; checkpoint still has the old bytes.
+        let (_, var_data) = store.fetch_chunk(t, 3, f, 0).unwrap();
+        let (_, ckpt_data) = store.fetch_chunk(t, 3, ckpt, 0).unwrap();
+        match (var_data, ckpt_data) {
+            (ChunkPayload::Data(v), ChunkPayload::Data(c)) => {
+                assert_eq!(v[0], 0xB);
+                assert_eq!(c[0], 0xA);
+            }
+            _ => panic!("expected data"),
+        }
+    }
+
+    #[test]
+    fn second_write_after_cow_is_in_place() {
+        let (store, stats) = store();
+        let f = make_file(&store, "/var", CHUNK);
+        let page = vec![1u8; 4096];
+        let mut t = store
+            .write_pages(VTime::ZERO, 3, f, 0, &[(0, &page)])
+            .unwrap();
+        let (t2, ckpt) = store.create_file(t, 3, "/ckpt").unwrap();
+        t = store.link_file(t2, 3, ckpt, f).unwrap();
+        t = store.write_pages(t, 3, f, 0, &[(0, &page)]).unwrap();
+        assert_eq!(stats.get("store.cow_clones"), 1);
+        // Refcount is back to 1: next write must not clone again.
+        store.write_pages(t, 3, f, 0, &[(4096, &page)]).unwrap();
+        assert_eq!(stats.get("store.cow_clones"), 1);
+    }
+
+    #[test]
+    fn dead_benefactor_fails_fetch() {
+        let (store, _) = store();
+        let f = make_file(&store, "/m", 2 * CHUNK);
+        let page = vec![1u8; 4096];
+        let t = store
+            .write_pages(VTime::ZERO, 3, f, 0, &[(0, &page)])
+            .unwrap();
+        store.set_benefactor_alive(BenefactorId(0), false);
+        let err = store.fetch_chunk(t, 3, f, 0).unwrap_err();
+        assert_eq!(err, StoreError::BenefactorDown(BenefactorId(0)));
+    }
+
+    #[test]
+    fn dirty_page_traffic_is_page_sized_not_chunk_sized() {
+        let (store, stats) = store();
+        let f = make_file(&store, "/m", CHUNK);
+        let page = vec![1u8; 4096];
+        store
+            .write_pages(VTime::ZERO, 3, f, 0, &[(0, &page)])
+            .unwrap();
+        assert_eq!(stats.get("store.bytes_from_clients"), 4096);
+    }
+
+    #[test]
+    fn wear_reports_cover_benefactors() {
+        let (store, _) = store();
+        let f = make_file(&store, "/m", CHUNK);
+        let page = vec![1u8; 4096];
+        store
+            .write_pages(VTime::ZERO, 3, f, 0, &[(0, &page)])
+            .unwrap();
+        let wear = store.wear_reports();
+        assert_eq!(wear.len(), 2);
+        let total: u64 = wear.iter().map(|(_, w)| w.bytes_written).sum();
+        assert_eq!(total, 4096);
+    }
+}

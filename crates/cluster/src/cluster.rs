@@ -1,0 +1,138 @@
+//! Assembling a simulated cluster: nodes with DRAM budgets, the
+//! interconnect, the PFS, and the aggregate NVM store with benefactors
+//! placed on chosen nodes.
+
+use crate::spec::ClusterSpec;
+use chunkstore::{AggregateStore, Benefactor, StoreConfig};
+use devices::{Dram, Pfs, Ssd};
+use fusemm::{FuseConfig, Mount};
+use netsim::Network;
+use simcore::StatsRegistry;
+
+/// A built cluster, ready to run jobs.
+pub struct Cluster {
+    pub spec: ClusterSpec,
+    pub stats: StatsRegistry,
+    pub net: Network,
+    pub pfs: Pfs,
+    pub store: AggregateStore,
+    /// Nodes that run a benefactor process.
+    pub benefactor_nodes: Vec<usize>,
+    drams: Vec<Dram>,
+    mounts: Vec<Mount>,
+}
+
+impl Cluster {
+    /// Build a cluster per `spec`, contributing the node-local SSD of each
+    /// node in `benefactor_nodes` to the aggregate store.
+    pub fn new(spec: ClusterSpec, benefactor_nodes: &[usize]) -> Self {
+        Self::with_fuse(spec, benefactor_nodes, FuseConfig::default())
+    }
+
+    /// Same, with a custom FUSE-layer configuration (cache sweeps etc.).
+    pub fn with_fuse(
+        spec: ClusterSpec,
+        benefactor_nodes: &[usize],
+        fuse: FuseConfig,
+    ) -> Self {
+        Self::with_configs(spec, benefactor_nodes, fuse, StoreConfig::default())
+    }
+
+    /// Fully custom build (chunk-size ablations etc.).
+    pub fn with_configs(
+        spec: ClusterSpec,
+        benefactor_nodes: &[usize],
+        fuse: FuseConfig,
+        mut store_cfg: StoreConfig,
+    ) -> Self {
+        let stats = StatsRegistry::new();
+        let net = Network::new(spec.nodes, spec.net, &stats);
+        let pfs = Pfs::new(spec.pfs, &stats);
+        // The manager runs where the first benefactor lives (a "fat node"),
+        // or node 0 when the store is unused.
+        store_cfg.manager_node = benefactor_nodes.first().copied().unwrap_or(0);
+        let store = AggregateStore::new(store_cfg, net.clone(), &stats);
+        for &node in benefactor_nodes {
+            assert!(node < spec.nodes, "benefactor node out of range");
+            let ssd = Ssd::new(&format!("n{node}.ssd"), spec.ssd_profile, &stats);
+            store.add_benefactor(Benefactor::new(
+                node,
+                ssd,
+                spec.ssd_capacity_per_node,
+                store_cfg.chunk_size,
+            ));
+        }
+        let drams = (0..spec.nodes)
+            .map(|n| {
+                Dram::new(
+                    &format!("n{n}.dram"),
+                    spec.dram_profile,
+                    spec.dram_per_node,
+                    &stats,
+                )
+            })
+            .collect();
+        let mounts = (0..spec.nodes)
+            .map(|n| Mount::new(store.clone(), n, fuse, &stats))
+            .collect();
+        Cluster {
+            spec,
+            stats,
+            net,
+            pfs,
+            store,
+            benefactor_nodes: benefactor_nodes.to_vec(),
+            drams,
+            mounts,
+        }
+    }
+
+    pub fn dram(&self, node: usize) -> &Dram {
+        &self.drams[node]
+    }
+
+    pub fn mount(&self, node: usize) -> &Mount {
+        &self.mounts[node]
+    }
+
+    /// Sum of SSD wear across the store's benefactors.
+    pub fn total_ssd_bytes_written(&self) -> u64 {
+        self.store
+            .wear_reports()
+            .iter()
+            .map(|(_, w)| w.bytes_written)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ClusterSpec;
+
+    #[test]
+    fn hal_cluster_builds() {
+        let c = Cluster::new(ClusterSpec::hal().scaled(64), &(0..16).collect::<Vec<_>>());
+        assert_eq!(c.spec.nodes, 16);
+        assert_eq!(c.benefactor_nodes.len(), 16);
+        assert_eq!(c.store.manager().benefactor_count(), 16);
+        let (total, free) = c.store.manager().space();
+        assert_eq!(total, free);
+        assert_eq!(total, 16 * c.spec.ssd_capacity_per_node);
+    }
+
+    #[test]
+    fn storeless_cluster_for_dram_only_configs() {
+        let c = Cluster::new(ClusterSpec::hal().scaled(64), &[]);
+        assert_eq!(c.store.manager().benefactor_count(), 0);
+        assert_eq!(c.dram(0).capacity(), c.spec.dram_per_node);
+    }
+
+    #[test]
+    fn remote_benefactor_placement() {
+        // 8 compute + 8 storage nodes: the R-SSD(8:8:8) layout.
+        let c = Cluster::new(ClusterSpec::hal().scaled(64), &(8..16).collect::<Vec<_>>());
+        assert_eq!(c.benefactor_nodes, (8..16).collect::<Vec<_>>());
+        assert_eq!(c.store.config().manager_node, 8);
+    }
+}

@@ -1,0 +1,373 @@
+//! Job launch: the `(x:y:z)` configurations of the paper's evaluation.
+//!
+//! A configuration string like `L-SSD(8:16:16)` means 8 processes per
+//! node, 16 compute nodes, 16 SSD benefactors, with benefactors local
+//! (`L`) or remote (`R`) to the compute nodes. [`JobConfig`] captures the
+//! process placement; benefactor placement is fixed when the [`Cluster`]
+//! is built (see [`JobConfig::benefactor_nodes`] helpers).
+
+use crate::calib::Calibration;
+use crate::cluster::Cluster;
+use crate::comm::Comm;
+use devices::DramExhausted;
+use nvmalloc::{AllocOptions, NvmClient};
+use parking_lot::Mutex;
+use simcore::{Engine, EngineReport, ProcCtx, VTime};
+
+/// Where a configuration's benefactors sit relative to its compute nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SsdPlacement {
+    /// No NVM store: the DRAM-only baseline.
+    None,
+    /// Benefactors on the compute nodes themselves (`L-SSD`).
+    Local,
+    /// Benefactors on a disjoint set of nodes (`R-SSD`).
+    Remote,
+}
+
+/// An `(x:y:z)` job configuration.
+///
+/// ```
+/// use cluster::JobConfig;
+/// let cfg = JobConfig::remote(8, 8, 4);
+/// assert_eq!(cfg.label(), "R-SSD(8:8:4)");
+/// assert_eq!(cfg.ranks(), 64);
+/// assert_eq!(cfg.benefactor_nodes(), vec![8, 9, 10, 11]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct JobConfig {
+    /// x: processes per compute node.
+    pub procs_per_node: usize,
+    /// y: number of compute nodes (nodes `0..y`).
+    pub compute_nodes: usize,
+    /// z: number of SSD benefactors.
+    pub benefactors: usize,
+    pub placement: SsdPlacement,
+}
+
+impl JobConfig {
+    pub fn dram_only(x: usize, y: usize) -> Self {
+        JobConfig {
+            procs_per_node: x,
+            compute_nodes: y,
+            benefactors: 0,
+            placement: SsdPlacement::None,
+        }
+    }
+
+    /// `L-SSD(x:y:z)`: benefactors on compute nodes `0..z` (z ≤ y).
+    pub fn local(x: usize, y: usize, z: usize) -> Self {
+        assert!(z <= y, "local benefactors must sit on compute nodes");
+        JobConfig {
+            procs_per_node: x,
+            compute_nodes: y,
+            benefactors: z,
+            placement: SsdPlacement::Local,
+        }
+    }
+
+    /// `R-SSD(x:y:z)`: benefactors on nodes `y..y+z`, disjoint from the
+    /// compute nodes.
+    pub fn remote(x: usize, y: usize, z: usize) -> Self {
+        JobConfig {
+            procs_per_node: x,
+            compute_nodes: y,
+            benefactors: z,
+            placement: SsdPlacement::Remote,
+        }
+    }
+
+    /// Total MPI ranks.
+    pub fn ranks(&self) -> usize {
+        self.procs_per_node * self.compute_nodes
+    }
+
+    /// Node hosting a rank (block placement, as `mpirun -bynode` off).
+    pub fn node_of_rank(&self, rank: usize) -> usize {
+        rank / self.procs_per_node
+    }
+
+    /// The nodes that must run benefactors for this configuration.
+    pub fn benefactor_nodes(&self) -> Vec<usize> {
+        match self.placement {
+            SsdPlacement::None => Vec::new(),
+            SsdPlacement::Local => (0..self.benefactors).collect(),
+            SsdPlacement::Remote => {
+                (self.compute_nodes..self.compute_nodes + self.benefactors).collect()
+            }
+        }
+    }
+
+    /// Total nodes the cluster needs for this configuration.
+    pub fn nodes_needed(&self) -> usize {
+        match self.placement {
+            SsdPlacement::Remote => self.compute_nodes + self.benefactors,
+            _ => self.compute_nodes,
+        }
+    }
+
+    /// The paper's label, e.g. `L-SSD(8:16:16)` or `DRAM(2:16:0)`.
+    pub fn label(&self) -> String {
+        match self.placement {
+            SsdPlacement::None => {
+                format!("DRAM({}:{}:0)", self.procs_per_node, self.compute_nodes)
+            }
+            SsdPlacement::Local => format!(
+                "L-SSD({}:{}:{})",
+                self.procs_per_node, self.compute_nodes, self.benefactors
+            ),
+            SsdPlacement::Remote => format!(
+                "R-SSD({}:{}:{})",
+                self.procs_per_node, self.compute_nodes, self.benefactors
+            ),
+        }
+    }
+}
+
+/// Everything a rank's body can touch.
+pub struct JobEnv {
+    pub rank: usize,
+    pub size: usize,
+    pub node: usize,
+    pub comm: Comm,
+    pub client: NvmClient,
+    pub calib: Calibration,
+    dram: devices::Dram,
+    pfs: devices::Pfs,
+    net: netsim::Network,
+}
+
+impl JobEnv {
+    /// Charge `flops` of computation on this rank's core.
+    pub fn compute(&self, ctx: &mut ProcCtx, flops: f64) {
+        ctx.advance(self.calib.compute_time(flops));
+    }
+
+    /// Move `bytes` over this node's shared DRAM bus (contends with the
+    /// node's other ranks — the STREAM effect).
+    pub fn dram_io(&self, ctx: &mut ProcCtx, bytes: u64) {
+        ctx.yield_until_min();
+        let g = self.dram.access_at(ctx.now(), bytes);
+        ctx.advance_to(g.end);
+    }
+
+    /// Read `bytes` from the PFS (input files). Charges the PFS server
+    /// and this node's receive NIC.
+    pub fn pfs_read(&self, ctx: &mut ProcCtx, bytes: u64) {
+        ctx.yield_until_min();
+        let g = self.pfs.read_at(ctx.now(), bytes);
+        let rx = self.net.rx_at(g.start, self.node, bytes);
+        ctx.advance_to(g.end.max(rx.end));
+    }
+
+    /// Write `bytes` to the PFS (output files). Charges the transmit NIC
+    /// and the PFS server.
+    pub fn pfs_write(&self, ctx: &mut ProcCtx, bytes: u64) {
+        ctx.yield_until_min();
+        let tx = self.net.tx_at(ctx.now(), self.node, bytes);
+        let g = self.pfs.write_at(ctx.now(), bytes);
+        ctx.advance_to(g.end.max(tx.end));
+    }
+
+    /// Reserve DRAM for an application allocation; fails when the node is
+    /// out of physical memory (the paper's 2-processes-per-node limit for
+    /// the DRAM-only matrix multiply comes from exactly this failure).
+    pub fn reserve_dram(&self, bytes: u64) -> Result<(), DramExhausted> {
+        self.dram.reserve(bytes)
+    }
+
+    pub fn release_dram(&self, bytes: u64) {
+        self.dram.release(bytes)
+    }
+
+    pub fn dram_free(&self) -> u64 {
+        self.dram.free()
+    }
+}
+
+/// Result of a job run.
+#[derive(Debug)]
+pub struct JobResult<R> {
+    pub outputs: Vec<R>,
+    pub report: EngineReport,
+}
+
+impl<R> JobResult<R> {
+    pub fn makespan(&self) -> VTime {
+        self.report.makespan
+    }
+}
+
+/// Run `body` as an SPMD job on the cluster.
+///
+/// Panics if the cluster was not built with the benefactor placement the
+/// configuration requires (see [`JobConfig::benefactor_nodes`]).
+pub fn run_job<R, F>(
+    cluster: &Cluster,
+    cfg: &JobConfig,
+    calib: Calibration,
+    body: F,
+) -> JobResult<R>
+where
+    R: Send,
+    F: Fn(&mut ProcCtx, &JobEnv) -> R + Send + Sync,
+{
+    assert!(
+        cfg.nodes_needed() <= cluster.spec.nodes,
+        "configuration {} needs {} nodes, cluster has {}",
+        cfg.label(),
+        cfg.nodes_needed(),
+        cluster.spec.nodes
+    );
+    assert_eq!(
+        cfg.benefactor_nodes(),
+        cluster.benefactor_nodes,
+        "cluster benefactor placement does not match the job configuration"
+    );
+    assert!(
+        cfg.procs_per_node <= cluster.spec.cores_per_node,
+        "more processes per node than cores"
+    );
+
+    let n = cfg.ranks();
+    let node_of_rank: Vec<usize> = (0..n).map(|r| cfg.node_of_rank(r)).collect();
+    let comm = Comm::new(cluster.net.clone(), node_of_rank.clone(), calib);
+    let outputs: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    let body = &body;
+    let outputs_ref = &outputs;
+    let report = Engine::run(
+        (0..n)
+            .map(|rank| {
+                let node = node_of_rank[rank];
+                let comm = comm.clone();
+                let env = JobEnv {
+                    rank,
+                    size: n,
+                    node,
+                    comm,
+                    client: NvmClient::new(
+                        cluster.mount(node).clone(),
+                        rank as u64,
+                        AllocOptions::default(),
+                        &cluster.stats,
+                    ),
+                    calib,
+                    dram: cluster.dram(node).clone(),
+                    pfs: cluster.pfs.clone(),
+                    net: cluster.net.clone(),
+                };
+                move |ctx: &mut ProcCtx| {
+                    let out = body(ctx, &env);
+                    outputs_ref.lock()[rank] = Some(out);
+                }
+            })
+            .collect(),
+    );
+
+    JobResult {
+        outputs: outputs
+            .into_inner()
+            .into_iter()
+            .map(|o| o.expect("rank produced no output"))
+            .collect(),
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ClusterSpec;
+    use simcore::time::bytes::mib;
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(JobConfig::dram_only(2, 16).label(), "DRAM(2:16:0)");
+        assert_eq!(JobConfig::local(8, 16, 16).label(), "L-SSD(8:16:16)");
+        assert_eq!(JobConfig::remote(8, 8, 4).label(), "R-SSD(8:8:4)");
+    }
+
+    #[test]
+    fn rank_placement_is_blocked() {
+        let cfg = JobConfig::local(8, 16, 16);
+        assert_eq!(cfg.ranks(), 128);
+        assert_eq!(cfg.node_of_rank(0), 0);
+        assert_eq!(cfg.node_of_rank(7), 0);
+        assert_eq!(cfg.node_of_rank(8), 1);
+        assert_eq!(cfg.node_of_rank(127), 15);
+    }
+
+    #[test]
+    fn benefactor_layouts() {
+        assert!(JobConfig::dram_only(8, 16).benefactor_nodes().is_empty());
+        assert_eq!(JobConfig::local(8, 8, 4).benefactor_nodes(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            JobConfig::remote(8, 8, 2).benefactor_nodes(),
+            vec![8, 9]
+        );
+        assert_eq!(JobConfig::remote(8, 8, 8).nodes_needed(), 16);
+    }
+
+    #[test]
+    fn simple_job_runs_all_ranks() {
+        let cfg = JobConfig::local(2, 2, 2);
+        let cluster = Cluster::new(ClusterSpec::hal().scaled(256), &cfg.benefactor_nodes());
+        let result = run_job(&cluster, &cfg, Calibration::default(), |ctx, env| {
+            env.compute(ctx, 2.4e9); // 1 virtual second
+            env.comm.barrier(ctx, env.rank);
+            (env.rank, env.node, ctx.now())
+        });
+        assert_eq!(result.outputs.len(), 4);
+        for (rank, node, t) in &result.outputs {
+            assert_eq!(*node, rank / 2);
+            assert!(*t >= VTime::from_secs(1));
+        }
+        assert!(result.makespan() >= VTime::from_secs(1));
+    }
+
+    #[test]
+    fn job_can_use_nvmalloc() {
+        let cfg = JobConfig::local(2, 2, 2);
+        let cluster = Cluster::new(ClusterSpec::hal().scaled(256), &cfg.benefactor_nodes());
+        let result = run_job(&cluster, &cfg, Calibration::default(), |ctx, env| {
+            // Rank 0 creates a shared variable, everyone reads it.
+            let v = if env.rank == 0 {
+                let v = env.client.ssdmalloc_shared::<u64>(ctx, "t", 1024).unwrap();
+                v.set(ctx, 0, 77).unwrap();
+                v.flush(ctx).unwrap();
+                v
+            } else {
+                env.client.ssdmalloc_shared::<u64>(ctx, "t", 1024).unwrap()
+            };
+            env.comm.barrier(ctx, env.rank);
+            v.get(ctx, 0).unwrap()
+        });
+        assert!(result.outputs.iter().all(|&v| v == 77));
+    }
+
+    #[test]
+    fn dram_reservation_limits_processes() {
+        let cfg = JobConfig::dram_only(8, 1);
+        let cluster = Cluster::new(ClusterSpec::hal().scaled(64), &[]);
+        // 8 ranks × 2 GiB/64 each cannot fit in 8 GiB/64 of node DRAM:
+        // at most 4 reservations succeed (the paper could fit only 2 MM
+        // processes because each needed ~3 matrices).
+        let result = run_job(&cluster, &cfg, Calibration::default(), |ctx, env| {
+            env.comm.barrier(ctx, env.rank); // deterministic order…
+            let got = env.reserve_dram(mib(32)).is_ok();
+            env.comm.barrier(ctx, env.rank);
+            got
+        });
+        let ok = result.outputs.iter().filter(|&&b| b).count();
+        assert_eq!(ok, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "benefactor placement")]
+    fn mismatched_cluster_rejected() {
+        let cfg = JobConfig::remote(2, 2, 2);
+        let cluster = Cluster::new(ClusterSpec::hal().scaled(256), &[0, 1]);
+        run_job(&cluster, &cfg, Calibration::default(), |_, _| ());
+    }
+}

@@ -1,0 +1,25 @@
+//! # cluster — the simulated extreme-scale machine
+//!
+//! Builds the testbed the paper evaluates on (the 128-core HAL cluster,
+//! Table II) out of the device, network and store substrates, and runs
+//! SPMD jobs on it:
+//!
+//! * [`spec`] — cluster hardware descriptions + the HAL preset and the
+//!   capacity-scaling rule;
+//! * [`calib`] — compute-time calibration (flops/core, scale correction);
+//! * [`cluster`] — node DRAM budgets, mounts, benefactor placement;
+//! * [`comm`] — MPI-like collectives (barrier/bcast/scatter/gather/
+//!   all-to-all) charged on the interconnect;
+//! * [`job`] — the `(x:y:z)` job configurations and the job runner.
+
+pub mod calib;
+pub mod cluster;
+pub mod comm;
+pub mod job;
+pub mod spec;
+
+pub use calib::Calibration;
+pub use cluster::Cluster;
+pub use comm::{Comm, Payload};
+pub use job::{run_job, JobConfig, JobEnv, JobResult, SsdPlacement};
+pub use spec::ClusterSpec;

@@ -1,0 +1,173 @@
+//! The per-node DRAM bus model.
+//!
+//! All cores of a node share one memory controller; STREAM-style kernels
+//! are bandwidth-bound, so the bus is modelled as a FIFO resource at the
+//! DIMM's aggregate bandwidth (12.8 GB/s for the DDR3-1600 of Table I).
+//! Per-request latency is the DRAM access latency, charged once per
+//! *request*, so callers should batch (the hardware pipelines individual
+//! line fills; the simulation works at block granularity).
+//!
+//! The model also tracks a capacity budget so the cluster layer can
+//! implement the paper's `mlock()` methodology: the evaluation pinned all
+//! but 1.25 GB of each node's memory to force out-of-core behaviour.
+
+use crate::profiles::DeviceProfile;
+use simcore::{Counter, Grant, Resource, StatsRegistry, VTime};
+
+/// One node's DRAM: a shared bus plus a capacity budget.
+#[derive(Clone, Debug)]
+pub struct Dram {
+    profile: DeviceProfile,
+    bus: Resource,
+    capacity: u64,
+    bytes_moved: Counter,
+    allocated: Counter,
+}
+
+impl Dram {
+    /// `capacity` is the node's installed DRAM (8 GiB on HAL), which may
+    /// differ from the profile's per-DIMM capacity.
+    pub fn new(name: &str, profile: DeviceProfile, capacity: u64, stats: &StatsRegistry) -> Self {
+        Dram {
+            profile,
+            bus: Resource::new(name.to_string()),
+            capacity,
+            bytes_moved: stats.counter(&format!("{name}.bytes")),
+            allocated: stats.counter(&format!("{name}.allocated")),
+        }
+    }
+
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Move `bytes` over the bus (read or write: DDR3 is symmetric).
+    pub fn access_at(&self, t: VTime, bytes: u64) -> Grant {
+        let g = self.profile.access_granularity.max(1);
+        let moved = bytes.div_ceil(g) * g;
+        self.bytes_moved.add(moved);
+        self.bus
+            .transfer_at(t, moved, self.profile.read_bw, self.profile.latency)
+    }
+
+    /// Reserve capacity (an allocation or an `mlock`-style pin).
+    /// Fails when the node does not have enough free DRAM — this is what
+    /// forces the paper's DRAM-only configurations down to 2 processes per
+    /// node for the 2 GB matrix-multiply problem.
+    pub fn reserve(&self, bytes: u64) -> Result<(), DramExhausted> {
+        // Counter is monotonic; emulate reserve/release with two counters.
+        if self.allocated.get() + bytes > self.capacity {
+            return Err(DramExhausted {
+                requested: bytes,
+                free: self.capacity - self.allocated.get().min(self.capacity),
+            });
+        }
+        self.allocated.add(bytes);
+        Ok(())
+    }
+
+    /// Release previously reserved capacity.
+    pub fn release(&self, bytes: u64) {
+        let cur = self.allocated.get();
+        assert!(bytes <= cur, "releasing more DRAM than reserved");
+        // Counters only go up; model release by resetting and re-adding.
+        self.allocated.reset();
+        self.allocated.add(cur - bytes);
+    }
+
+    pub fn allocated(&self) -> u64 {
+        self.allocated.get()
+    }
+
+    pub fn free(&self) -> u64 {
+        self.capacity - self.allocated.get().min(self.capacity)
+    }
+
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved.get()
+    }
+
+    pub fn bus(&self) -> &Resource {
+        &self.bus
+    }
+}
+
+/// Allocation failure: the node is out of physical memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramExhausted {
+    pub requested: u64,
+    pub free: u64,
+}
+
+impl std::fmt::Display for DramExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DRAM exhausted: requested {} with only {} free",
+            simcore::bytes::human(self.requested),
+            simcore::bytes::human(self.free)
+        )
+    }
+}
+
+impl std::error::Error for DramExhausted {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::DDR3_1600;
+    use simcore::time::bytes::gib;
+    use simcore::Bandwidth;
+
+    fn node_dram() -> Dram {
+        Dram::new("n0.dram", DDR3_1600, gib(8), &StatsRegistry::new())
+    }
+
+    #[test]
+    fn bandwidth_matches_profile() {
+        let d = node_dram();
+        let g = d.access_at(VTime::ZERO, 12_800_000_000);
+        let expect = VTime::from_nanos(12) + Bandwidth::gb_per_sec(12.8).time_for(12_800_000_000);
+        assert_eq!(g.end, expect);
+    }
+
+    #[test]
+    fn cache_line_granularity() {
+        let d = node_dram();
+        d.access_at(VTime::ZERO, 1);
+        assert_eq!(d.bytes_moved(), 64);
+    }
+
+    #[test]
+    fn reserve_and_release() {
+        let d = node_dram();
+        d.reserve(gib(6)).unwrap();
+        assert_eq!(d.free(), gib(2));
+        let err = d.reserve(gib(3)).unwrap_err();
+        assert_eq!(err.requested, gib(3));
+        assert_eq!(err.free, gib(2));
+        d.release(gib(6));
+        assert_eq!(d.free(), gib(8));
+        d.reserve(gib(8)).unwrap();
+        assert_eq!(d.free(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing more")]
+    fn over_release_panics() {
+        let d = node_dram();
+        d.release(1);
+    }
+
+    #[test]
+    fn contention_serializes() {
+        let d = node_dram();
+        let g1 = d.access_at(VTime::ZERO, gib(1));
+        let g2 = d.access_at(VTime::ZERO, gib(1));
+        assert_eq!(g2.start, g1.end);
+    }
+}

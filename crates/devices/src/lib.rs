@@ -1,0 +1,27 @@
+//! # devices — Table I device models
+//!
+//! Calibrated performance models for every storage/memory device the
+//! paper's evaluation touches:
+//!
+//! * [`profiles`] — the paper's Table I as typed constants (Intel X25-E,
+//!   Fusion-io ioDrive Duo, OCZ RevoDrive, DDR3-1600), with media kind,
+//!   interface, bandwidths, latency, capacity, cost and wear parameters;
+//! * [`ssd`] — FIFO-served SSD with 4 KiB access granularity and a
+//!   program/erase wear model;
+//! * [`dram`] — per-node shared memory bus plus a capacity budget used to
+//!   reproduce the paper's `mlock()`-based memory-restriction methodology;
+//! * [`pfs`] — the central parallel file system the aggregate NVM store is
+//!   designed to offload.
+
+pub mod dram;
+pub mod pfs;
+pub mod profiles;
+pub mod ssd;
+
+pub use dram::{Dram, DramExhausted};
+pub use pfs::{Pfs, PfsConfig};
+pub use profiles::{
+    DeviceProfile, Interface, MediaKind, DDR3_1600, FUSION_IODRIVE_DUO, INTEL_X25E, OCZ_REVODRIVE,
+    TABLE1,
+};
+pub use ssd::{Ssd, WearReport};

@@ -1,0 +1,78 @@
+//! Device-model edge cases beyond the in-crate unit tests.
+
+use devices::{Dram, Pfs, PfsConfig, Ssd, DDR3_1600, FUSION_IODRIVE_DUO, INTEL_X25E, OCZ_REVODRIVE};
+use simcore::{StatsRegistry, VTime};
+
+#[test]
+fn faster_devices_serve_faster() {
+    let stats = StatsRegistry::new();
+    let sata = Ssd::new("sata", INTEL_X25E, &stats);
+    let pcie = Ssd::new("pcie", FUSION_IODRIVE_DUO, &stats);
+    let mid = Ssd::new("mid", OCZ_REVODRIVE, &stats);
+    let bytes = 1 << 20;
+    let t_sata = sata.read_at(VTime::ZERO, bytes).end;
+    let t_mid = mid.read_at(VTime::ZERO, bytes).end;
+    let t_pcie = pcie.read_at(VTime::ZERO, bytes).end;
+    assert!(t_pcie < t_mid && t_mid < t_sata, "{t_pcie} {t_mid} {t_sata}");
+}
+
+#[test]
+fn zero_byte_access_still_pays_latency() {
+    let stats = StatsRegistry::new();
+    let d = Ssd::new("s", INTEL_X25E, &stats);
+    let g = d.read_at(VTime::ZERO, 0);
+    assert_eq!(g.end - g.start, INTEL_X25E.latency);
+    assert_eq!(d.bytes_read(), 0, "a zero-length request moves nothing");
+}
+
+#[test]
+fn wear_accumulates_across_mixed_traffic() {
+    let stats = StatsRegistry::new();
+    let d = Ssd::new("s", INTEL_X25E, &stats);
+    d.read_at(VTime::ZERO, 1 << 20);
+    d.write_at(VTime::ZERO, 1 << 20);
+    d.write_at(VTime::ZERO, 1 << 20);
+    let w = d.wear();
+    assert_eq!(w.bytes_written, 2 << 20);
+    assert_eq!(w.erase_ops, (2 << 20) / INTEL_X25E.erase_block);
+    assert!(w.life_consumed > 0.0);
+    assert_eq!(d.bytes_read(), 1 << 20);
+}
+
+#[test]
+fn dram_capacity_is_independent_of_profile_capacity() {
+    let stats = StatsRegistry::new();
+    let d = Dram::new("d", DDR3_1600, 1 << 20, &stats);
+    assert_eq!(d.capacity(), 1 << 20);
+    d.reserve(1 << 20).unwrap();
+    assert!(d.reserve(1).is_err());
+    d.release(1 << 20);
+    assert_eq!(d.free(), 1 << 20);
+}
+
+#[test]
+fn pfs_latency_dominates_small_requests() {
+    let stats = StatsRegistry::new();
+    let pfs = Pfs::new(PfsConfig::default(), &stats);
+    let g = pfs.read_at(VTime::ZERO, 1);
+    // 5 ms seek-class latency swamps the 3 ns of transfer.
+    assert!(g.end >= VTime::from_millis(5));
+    assert!(g.end < VTime::from_millis(6));
+}
+
+#[test]
+fn pfs_config_is_tunable() {
+    let stats = StatsRegistry::new();
+    let pfs = Pfs::new(
+        PfsConfig {
+            read_bw: simcore::Bandwidth::gb_per_sec(1.0),
+            write_bw: simcore::Bandwidth::mb_per_sec(100.0),
+            latency: VTime::ZERO,
+        },
+        &stats,
+    );
+    assert_eq!(pfs.read_at(VTime::ZERO, 1_000_000_000).end, VTime::from_secs(1));
+    // Writes queue behind the read on the same server at 100 MB/s.
+    let g = pfs.write_at(VTime::ZERO, 100_000_000);
+    assert_eq!(g.end, VTime::from_secs(2));
+}

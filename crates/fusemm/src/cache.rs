@@ -1,0 +1,209 @@
+//! The per-node chunk cache: LRU over `(file, chunk index)` entries with
+//! per-page dirty bits.
+//!
+//! The cache itself is a passive data structure; [`crate::mount::Mount`]
+//! drives it and charges virtual time. Capacity is counted in chunks
+//! (64 MiB / 256 KiB = 256 entries at the paper's defaults).
+
+use crate::dirty::DirtyPages;
+use chunkstore::FileId;
+use simcore::VTime;
+use std::collections::HashMap;
+
+/// One cached chunk.
+#[derive(Debug)]
+pub struct CacheEntry {
+    pub data: Box<[u8]>,
+    pub dirty: DirtyPages,
+    /// LRU tick of the last touch.
+    pub last_use: u64,
+    /// For asynchronously prefetched chunks: when the data is actually
+    /// available; a hit earlier than this waits until `ready_at`.
+    pub ready_at: VTime,
+}
+
+/// Key: which chunk of which file.
+pub type ChunkKey = (FileId, usize);
+
+/// LRU chunk cache.
+#[derive(Debug)]
+pub struct ChunkCache {
+    entries: HashMap<ChunkKey, CacheEntry>,
+    capacity: usize,
+    tick: u64,
+    pages_per_chunk: usize,
+}
+
+impl ChunkCache {
+    pub fn new(capacity_chunks: usize, pages_per_chunk: usize) -> Self {
+        assert!(capacity_chunks > 0, "cache needs at least one chunk");
+        ChunkCache {
+            entries: HashMap::with_capacity(capacity_chunks),
+            capacity: capacity_chunks,
+            tick: 0,
+            pages_per_chunk,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    pub fn contains(&self, key: &ChunkKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Touch and return an entry (LRU update).
+    pub fn get_mut(&mut self, key: &ChunkKey) -> Option<&mut CacheEntry> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries.get_mut(key)?;
+        entry.last_use = tick;
+        Some(entry)
+    }
+
+    /// Peek without LRU update (used by flush scans).
+    pub fn peek(&self, key: &ChunkKey) -> Option<&CacheEntry> {
+        self.entries.get(key)
+    }
+
+    pub fn peek_mut(&mut self, key: &ChunkKey) -> Option<&mut CacheEntry> {
+        self.entries.get_mut(key)
+    }
+
+    /// Insert a chunk; the caller must have made room first.
+    pub fn insert(&mut self, key: ChunkKey, data: Box<[u8]>, ready_at: VTime) {
+        assert!(!self.is_full(), "insert into a full cache");
+        self.tick += 1;
+        let prev = self.entries.insert(
+            key,
+            CacheEntry {
+                data,
+                dirty: DirtyPages::new(self.pages_per_chunk),
+                last_use: self.tick,
+                ready_at,
+            },
+        );
+        assert!(prev.is_none(), "duplicate cache insert");
+    }
+
+    /// The least-recently-used key (eviction victim), if any.
+    pub fn lru_key(&self) -> Option<ChunkKey> {
+        self.entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_use)
+            .map(|(k, _)| *k)
+    }
+
+    /// Remove an entry, returning it (for write-back of its dirty pages).
+    pub fn remove(&mut self, key: &ChunkKey) -> Option<CacheEntry> {
+        self.entries.remove(key)
+    }
+
+    /// All keys belonging to `file` (flush / invalidate scans).
+    pub fn keys_of_file(&self, file: FileId) -> Vec<ChunkKey> {
+        let mut keys: Vec<ChunkKey> = self
+            .entries
+            .keys()
+            .filter(|(f, _)| *f == file)
+            .copied()
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Keys of every dirty chunk, in LRU order (flush-all scans).
+    pub fn dirty_keys(&self) -> Vec<ChunkKey> {
+        let mut keyed: Vec<(u64, ChunkKey)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.dirty.any())
+            .map(|(k, e)| (e.last_use, *k))
+            .collect();
+        keyed.sort_unstable();
+        keyed.into_iter().map(|(_, k)| k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: usize) -> ChunkKey {
+        (FileId(1), i)
+    }
+
+    fn cache(cap: usize) -> ChunkCache {
+        ChunkCache::new(cap, 64)
+    }
+
+    fn data() -> Box<[u8]> {
+        vec![0u8; 256].into_boxed_slice()
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut c = cache(2);
+        c.insert(key(0), data(), VTime::ZERO);
+        assert!(c.contains(&key(0)));
+        assert!(c.get_mut(&key(0)).is_some());
+        assert!(c.get_mut(&key(1)).is_none());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_order_follows_touches() {
+        let mut c = cache(3);
+        c.insert(key(0), data(), VTime::ZERO);
+        c.insert(key(1), data(), VTime::ZERO);
+        c.insert(key(2), data(), VTime::ZERO);
+        // Touch 0: now 1 is the LRU.
+        c.get_mut(&key(0));
+        assert_eq!(c.lru_key(), Some(key(1)));
+        c.get_mut(&key(1));
+        assert_eq!(c.lru_key(), Some(key(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn insert_into_full_cache_panics() {
+        let mut c = cache(1);
+        c.insert(key(0), data(), VTime::ZERO);
+        c.insert(key(1), data(), VTime::ZERO);
+    }
+
+    #[test]
+    fn remove_frees_room() {
+        let mut c = cache(1);
+        c.insert(key(0), data(), VTime::ZERO);
+        assert!(c.is_full());
+        let e = c.remove(&key(0)).unwrap();
+        assert!(!e.dirty.any());
+        assert!(c.is_empty());
+        c.insert(key(1), data(), VTime::ZERO);
+    }
+
+    #[test]
+    fn file_and_dirty_scans() {
+        let mut c = cache(4);
+        c.insert((FileId(1), 0), data(), VTime::ZERO);
+        c.insert((FileId(2), 0), data(), VTime::ZERO);
+        c.insert((FileId(1), 3), data(), VTime::ZERO);
+        assert_eq!(c.keys_of_file(FileId(1)), vec![(FileId(1), 0), (FileId(1), 3)]);
+        assert!(c.dirty_keys().is_empty());
+        c.peek_mut(&(FileId(1), 3)).unwrap().dirty.mark(0);
+        assert_eq!(c.dirty_keys(), vec![(FileId(1), 3)]);
+    }
+}

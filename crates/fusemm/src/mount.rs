@@ -1,0 +1,496 @@
+//! The mount point: `/mnt/aggregatenvm` as seen by one compute node.
+//!
+//! Implements the paper's §III-D data path:
+//!
+//! * **reads** resolve to chunk fetches; a miss pulls the whole 256 KiB
+//!   chunk from its benefactor into the node's LRU cache, so subsequent
+//!   byte accesses in the chunk are hits (this *is* the read-ahead effect
+//!   Table III credits NVMalloc with); sequential streams additionally
+//!   prefetch ahead asynchronously;
+//! * **writes** fetch the target chunk on a miss (read-modify-write),
+//!   update it in cache and mark 4 KiB pages dirty;
+//! * **eviction** (LRU) ships only the dirty pages to the owning
+//!   benefactor — the write optimization of Table VII — or the whole
+//!   chunk when `dirty_page_writeback` is disabled for the ablation.
+//!
+//! Requests reaching this layer are counted at OS-page granularity, the
+//! same units the paper's Table IV/VII report for "requests to FUSE":
+//! mmap faults and page-cache write-backs arrive page-sized.
+
+use crate::cache::{ChunkCache, ChunkKey};
+use chunkstore::{
+    AggregateStore, ChunkPayload, FileId, PlacementPolicy, Result, StoreError, StripeSpec,
+};
+use parking_lot::Mutex;
+use simcore::{Counter, StatsRegistry, VTime};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Mount configuration (per compute node).
+#[derive(Clone, Copy, Debug)]
+pub struct FuseConfig {
+    /// Client cache size in bytes; the paper's evaluation uses 64 MiB.
+    pub cache_bytes: u64,
+    /// Chunks to prefetch ahead of a detected sequential read stream.
+    pub read_ahead_chunks: usize,
+    /// Ship only dirty pages at eviction (true = the paper's optimization;
+    /// false = whole-chunk write-back, the Table VII baseline).
+    pub dirty_page_writeback: bool,
+    /// User/kernel crossing cost charged per FUSE operation.
+    pub op_overhead: VTime,
+}
+
+impl Default for FuseConfig {
+    fn default() -> Self {
+        FuseConfig {
+            cache_bytes: 64 * 1024 * 1024,
+            read_ahead_chunks: 1,
+            dirty_page_writeback: true,
+            op_overhead: VTime::from_micros(4),
+        }
+    }
+}
+
+/// How many concurrent sequential streams per file the read-ahead
+/// detector tracks (one mmap'd file is commonly streamed by every process
+/// on the node at different offsets).
+const SEQ_CURSORS: usize = 16;
+
+struct MountState {
+    cache: ChunkCache,
+    /// Per-file expected next offsets of detected streams (read-ahead
+    /// detector); newest cursor last.
+    seq: HashMap<FileId, Vec<u64>>,
+}
+
+impl MountState {
+    /// Record a read `[offset, end)`; returns true when it continues one
+    /// of the file's known streams.
+    fn note_read(&mut self, file: FileId, offset: u64, end: u64) -> bool {
+        let cursors = self.seq.entry(file).or_default();
+        if let Some(pos) = cursors.iter().position(|&c| c == offset) {
+            cursors.remove(pos);
+            cursors.push(end);
+            true
+        } else {
+            if cursors.len() >= SEQ_CURSORS {
+                cursors.remove(0);
+            }
+            cursors.push(end);
+            false
+        }
+    }
+}
+
+/// A node's view of the aggregate store. Shared by all processes on the
+/// node — that sharing is what makes the paper's "shared mmap file"
+/// optimization effective.
+#[derive(Clone)]
+pub struct Mount {
+    store: AggregateStore,
+    node: usize,
+    cfg: FuseConfig,
+    state: Arc<Mutex<MountState>>,
+    read_req_bytes: Counter,
+    write_req_bytes: Counter,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    writeback_bytes: Counter,
+    readahead_fetches: Counter,
+}
+
+impl Mount {
+    pub fn new(store: AggregateStore, node: usize, cfg: FuseConfig, stats: &StatsRegistry) -> Self {
+        let chunk = store.config().chunk_size;
+        let page = store.config().page_size;
+        let capacity = (cfg.cache_bytes / chunk).max(1) as usize;
+        Mount {
+            store,
+            node,
+            cfg,
+            state: Arc::new(Mutex::new(MountState {
+                cache: ChunkCache::new(capacity, (chunk / page) as usize),
+                seq: HashMap::new(),
+            })),
+            read_req_bytes: stats.counter("fuse.read_req_bytes"),
+            write_req_bytes: stats.counter("fuse.write_req_bytes"),
+            hits: stats.counter("fuse.hits"),
+            misses: stats.counter("fuse.misses"),
+            evictions: stats.counter("fuse.evictions"),
+            writeback_bytes: stats.counter("fuse.writeback_bytes"),
+            readahead_fetches: stats.counter("fuse.readahead_fetches"),
+        }
+    }
+
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    pub fn store(&self) -> &AggregateStore {
+        &self.store
+    }
+
+    pub fn config(&self) -> &FuseConfig {
+        &self.cfg
+    }
+
+    fn chunk_size(&self) -> u64 {
+        self.store.config().chunk_size
+    }
+
+    fn page_size(&self) -> u64 {
+        self.store.config().page_size
+    }
+
+    /// Bytes rounded to whole OS pages (how requests arrive at FUSE).
+    fn page_rounded(&self, offset: u64, len: u64) -> u64 {
+        let ps = self.page_size();
+        let first = offset / ps;
+        let last = (offset + len - 1) / ps;
+        (last - first + 1) * ps
+    }
+
+    // ----- namespace operations ---------------------------------------------
+
+    /// Create + fallocate a file (the backing object of an `ssdmalloc`).
+    pub fn create(
+        &self,
+        t: VTime,
+        name: &str,
+        size: u64,
+        stripe: StripeSpec,
+        placement: PlacementPolicy,
+    ) -> Result<(VTime, FileId)> {
+        let (t, id) = self.store.create_file(t, self.node, name)?;
+        let t = self
+            .store
+            .fallocate(t, self.node, id, size, stripe, placement)?;
+        Ok((t, id))
+    }
+
+    /// Open an existing file by name (O_RDWR semantics: writes through any
+    /// mount are immediately visible to reads through any other).
+    pub fn open(&self, t: VTime, name: &str) -> (VTime, Option<FileId>) {
+        self.store.open(t, self.node, name)
+    }
+
+    /// Drop a file: discard cached chunks (no write-back — the file is
+    /// going away) and delete it from the store.
+    pub fn delete(&self, t: VTime, file: FileId) -> Result<VTime> {
+        {
+            let mut st = self.state.lock();
+            for key in st.cache.keys_of_file(file) {
+                st.cache.remove(&key);
+            }
+            st.seq.remove(&file);
+        }
+        self.store.delete(t, self.node, file)
+    }
+
+    pub fn file_size(&self, file: FileId) -> Result<u64> {
+        self.store.file_size(file)
+    }
+
+    // ----- data path ---------------------------------------------------------
+
+    /// Byte-granular read: `buf` is filled from `file[offset..]`.
+    pub fn read(&self, mut t: VTime, file: FileId, offset: u64, buf: &mut [u8]) -> Result<VTime> {
+        if buf.is_empty() {
+            return Ok(t);
+        }
+        self.bounds_check(file, offset, buf.len() as u64)?;
+        self.read_req_bytes
+            .add(self.page_rounded(offset, buf.len() as u64));
+        t += self.cfg.op_overhead;
+
+        let cs = self.chunk_size();
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let abs = offset + pos as u64;
+            let idx = (abs / cs) as usize;
+            let within = (abs % cs) as usize;
+            let take = (cs as usize - within).min(buf.len() - pos);
+            t = self.ensure_chunk(t, file, idx)?;
+            {
+                let mut st = self.state.lock();
+                let entry = st.cache.peek_mut(&(file, idx)).expect("just ensured");
+                buf[pos..pos + take].copy_from_slice(&entry.data[within..within + take]);
+            }
+            pos += take;
+        }
+
+        // Sequential stream detection → asynchronous read-ahead.
+        let sequential = {
+            let mut st = self.state.lock();
+            st.note_read(file, offset, offset + buf.len() as u64)
+        };
+        if sequential && self.cfg.read_ahead_chunks > 0 {
+            self.read_ahead(t, file, offset + buf.len() as u64)?;
+        }
+        Ok(t)
+    }
+
+    /// Strided read: `count` runs of `run_len` bytes, the i-th starting at
+    /// `offset + i*stride`, concatenated into `out`.
+    ///
+    /// This is how a column-major traversal of a row-major matrix reaches
+    /// the mmap layer: many short runs at a large stride. One call charges
+    /// the whole burst (each run costs page-rounded request traffic and a
+    /// chunk fetch on a miss) without per-run scheduler overhead.
+    #[allow(clippy::too_many_arguments)]
+    pub fn read_strided(
+        &self,
+        mut t: VTime,
+        file: FileId,
+        offset: u64,
+        run_len: u64,
+        stride: u64,
+        count: u64,
+        out: &mut [u8],
+    ) -> Result<VTime> {
+        assert!(run_len > 0 && count > 0, "empty strided read");
+        assert!(stride >= run_len, "overlapping strided runs");
+        assert_eq!(out.len() as u64, run_len * count, "output size mismatch");
+        let last_end = offset + (count - 1) * stride + run_len;
+        self.bounds_check(file, offset, last_end - offset)?;
+        t += self.cfg.op_overhead;
+
+        let cs = self.chunk_size();
+        for r in 0..count {
+            let start = offset + r * stride;
+            self.read_req_bytes.add(self.page_rounded(start, run_len));
+            let out_base = (r * run_len) as usize;
+            let mut pos = 0usize;
+            while (pos as u64) < run_len {
+                let abs = start + pos as u64;
+                let idx = (abs / cs) as usize;
+                let within = (abs % cs) as usize;
+                let take = (cs as usize - within).min((run_len as usize) - pos);
+                t = self.ensure_chunk(t, file, idx)?;
+                let mut st = self.state.lock();
+                let entry = st.cache.peek_mut(&(file, idx)).expect("just ensured");
+                out[out_base + pos..out_base + pos + take]
+                    .copy_from_slice(&entry.data[within..within + take]);
+                pos += take;
+            }
+        }
+        // A strided burst is not a sequential stream: reset the detector.
+        self.state.lock().seq.remove(&file);
+        Ok(t)
+    }
+
+    /// Byte-granular write from `data` into `file[offset..]`.
+    pub fn write(&self, mut t: VTime, file: FileId, offset: u64, data: &[u8]) -> Result<VTime> {
+        if data.is_empty() {
+            return Ok(t);
+        }
+        self.bounds_check(file, offset, data.len() as u64)?;
+        self.write_req_bytes
+            .add(self.page_rounded(offset, data.len() as u64));
+        t += self.cfg.op_overhead;
+
+        let cs = self.chunk_size();
+        let ps = self.page_size();
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let abs = offset + pos as u64;
+            let idx = (abs / cs) as usize;
+            let within = abs % cs;
+            let take = ((cs - within) as usize).min(data.len() - pos);
+            // Read-modify-write: a miss pulls the chunk first (§III-D).
+            t = self.ensure_chunk(t, file, idx)?;
+            {
+                let mut st = self.state.lock();
+                let entry = st.cache.peek_mut(&(file, idx)).expect("just ensured");
+                entry.data[within as usize..within as usize + take]
+                    .copy_from_slice(&data[pos..pos + take]);
+                entry
+                    .dirty
+                    .mark_range(within, within + take as u64, ps);
+            }
+            pos += take;
+        }
+        Ok(t)
+    }
+
+    /// Write back every dirty page of `file`, keeping chunks cached clean.
+    /// Used by `ssdcheckpoint()` before chunk linking and by close paths.
+    pub fn flush_file(&self, mut t: VTime, file: FileId) -> Result<VTime> {
+        let keys = { self.state.lock().cache.keys_of_file(file) };
+        for key in keys {
+            t = self.flush_entry(t, key)?;
+        }
+        Ok(t)
+    }
+
+    /// The dirty cached chunk indices of `file` (for callers that flush
+    /// incrementally, yielding to a scheduler between chunks).
+    pub fn dirty_chunks_of(&self, file: FileId) -> Vec<usize> {
+        let st = self.state.lock();
+        st.cache
+            .keys_of_file(file)
+            .into_iter()
+            .filter(|k| st.cache.peek(k).map(|e| e.dirty.any()).unwrap_or(false))
+            .map(|(_, idx)| idx)
+            .collect()
+    }
+
+    /// Write back one chunk's dirty pages.
+    pub fn flush_chunk(&self, t: VTime, file: FileId, idx: usize) -> Result<VTime> {
+        self.flush_entry(t, (file, idx))
+    }
+
+    /// Write back every dirty chunk of every file on this mount.
+    pub fn flush_all(&self, mut t: VTime) -> Result<VTime> {
+        let keys = { self.state.lock().cache.dirty_keys() };
+        for key in keys {
+            t = self.flush_entry(t, key)?;
+        }
+        Ok(t)
+    }
+
+    fn flush_entry(&self, t: VTime, key: ChunkKey) -> Result<VTime> {
+        let updates: Vec<(u64, Vec<u8>)> = {
+            let mut st = self.state.lock();
+            let Some(entry) = st.cache.peek_mut(&key) else {
+                return Ok(t);
+            };
+            if !entry.dirty.any() {
+                return Ok(t);
+            }
+            let runs = entry.dirty.runs(self.page_size());
+            let updates = runs
+                .iter()
+                .map(|&(off, len)| {
+                    (off, entry.data[off as usize..(off + len) as usize].to_vec())
+                })
+                .collect();
+            entry.dirty.clear();
+            updates
+        };
+        let refs: Vec<(u64, &[u8])> = updates.iter().map(|(o, d)| (*o, d.as_slice())).collect();
+        let bytes: u64 = refs.iter().map(|(_, d)| d.len() as u64).sum();
+        self.writeback_bytes.add(bytes);
+        self.store.write_pages(t, self.node, key.0, key.1, &refs)
+    }
+
+    // ----- internals ----------------------------------------------------------
+
+    fn bounds_check(&self, file: FileId, offset: u64, len: u64) -> Result<()> {
+        let size = self.store.file_size(file)?;
+        if offset + len > size {
+            return Err(StoreError::OutOfBounds {
+                file,
+                offset,
+                len,
+                size,
+            });
+        }
+        Ok(())
+    }
+
+    /// Make `(file, idx)` resident; returns the time the data is usable.
+    fn ensure_chunk(&self, mut t: VTime, file: FileId, idx: usize) -> Result<VTime> {
+        {
+            let mut st = self.state.lock();
+            if let Some(entry) = st.cache.get_mut(&(file, idx)) {
+                self.hits.inc();
+                // Prefetched data may still be in flight.
+                return Ok(t.max(entry.ready_at));
+            }
+        }
+        self.misses.inc();
+        t = self.make_room(t)?;
+        let (t2, payload) = self.store.fetch_chunk(t, self.node, file, idx)?;
+        let data = match payload {
+            ChunkPayload::Zeros => {
+                vec![0u8; self.chunk_size() as usize].into_boxed_slice()
+            }
+            ChunkPayload::Data(d) => d,
+        };
+        let mut st = self.state.lock();
+        st.cache.insert((file, idx), data, t2);
+        Ok(t2)
+    }
+
+    /// Evict until one slot is free, writing back dirty pages (or whole
+    /// chunks when the optimization is off).
+    fn make_room(&self, mut t: VTime) -> Result<VTime> {
+        loop {
+            let victim = {
+                let st = self.state.lock();
+                if !st.cache.is_full() {
+                    return Ok(t);
+                }
+                st.cache.lru_key().expect("full cache has a victim")
+            };
+            t = self.evict(t, victim)?;
+        }
+    }
+
+    fn evict(&self, t: VTime, key: ChunkKey) -> Result<VTime> {
+        let entry = {
+            let mut st = self.state.lock();
+            match st.cache.remove(&key) {
+                Some(e) => e,
+                None => return Ok(t),
+            }
+        };
+        self.evictions.inc();
+        if !entry.dirty.any() {
+            return Ok(t);
+        }
+        let updates: Vec<(u64, &[u8])> = if self.cfg.dirty_page_writeback {
+            entry
+                .dirty
+                .runs(self.page_size())
+                .into_iter()
+                .map(|(off, len)| (off, &entry.data[off as usize..(off + len) as usize]))
+                .collect()
+        } else {
+            // Ablation baseline: ship the entire chunk.
+            vec![(0, &entry.data[..])]
+        };
+        let bytes: u64 = updates.iter().map(|(_, d)| d.len() as u64).sum();
+        self.writeback_bytes.add(bytes);
+        self.store.write_pages(t, self.node, key.0, key.1, &updates)
+    }
+
+    /// Asynchronous prefetch of the chunks following `from_offset`.
+    /// Charges the store-side resources but not the caller's clock; a
+    /// later hit waits on `ready_at` if the data has not "arrived" yet.
+    fn read_ahead(&self, t: VTime, file: FileId, from_offset: u64) -> Result<()> {
+        let cs = self.chunk_size();
+        let n_chunks = self.store.chunk_count(file)?;
+        let first = (from_offset / cs) as usize + usize::from(!from_offset.is_multiple_of(cs));
+        for idx in first..(first + self.cfg.read_ahead_chunks).min(n_chunks) {
+            {
+                let st = self.state.lock();
+                if st.cache.contains(&(file, idx)) {
+                    continue;
+                }
+                // Only prefetch into free-or-clean space: prefetching must
+                // never force synchronous dirty write-back.
+                if st.cache.is_full() {
+                    let victim = st.cache.lru_key().expect("full");
+                    let dirty = st.cache.peek(&victim).map(|e| e.dirty.any()).unwrap_or(false);
+                    if dirty {
+                        return Ok(());
+                    }
+                }
+            }
+            let t0 = self.make_room(t)?; // clean eviction: t unchanged
+            debug_assert_eq!(t0, t);
+            let (ready, payload) = self.store.fetch_chunk(t, self.node, file, idx)?;
+            self.readahead_fetches.inc();
+            let data = match payload {
+                ChunkPayload::Zeros => vec![0u8; cs as usize].into_boxed_slice(),
+                ChunkPayload::Data(d) => d,
+            };
+            let mut st = self.state.lock();
+            st.cache.insert((file, idx), data, ready);
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,414 @@
+//! `NvmClient` — the per-process NVMalloc entry point.
+//!
+//! Provides the paper's service suite (§III):
+//!
+//! * [`NvmClient::ssdmalloc`] — allocate a typed variable from the
+//!   aggregate store: creates an internally-named backing file,
+//!   `posix_fallocate`s its size over a benefactor stripe, and returns the
+//!   mapped [`NvmVec`];
+//! * [`NvmClient::ssdmalloc_shared`] — the "special flag" variant that
+//!   maps a *shared* file so all processes on a node (or across nodes)
+//!   back a common read-mostly structure (matrix B in the evaluation)
+//!   with one set of chunks;
+//! * [`NvmClient::ssdfree`] — unmap and delete the backing file;
+//! * [`NvmClient::ssdcheckpoint`] — snapshot DRAM state *and* NVM
+//!   variables into one logical restart file, copying only the DRAM bytes
+//!   and *linking* the variables' chunks (§III-E);
+//! * restart helpers that rebuild state from a checkpoint.
+
+use crate::pod::Pod;
+use crate::vec::{NvmVec, NvmVariable};
+use chunkstore::{FileId, PlacementPolicy, Result, StoreError, StripeSpec};
+use fusemm::Mount;
+use simcore::{Counter, ProcCtx, StatsRegistry};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Placement options for an allocation.
+#[derive(Clone, Debug)]
+pub struct AllocOptions {
+    pub stripe: StripeSpec,
+    pub placement: PlacementPolicy,
+}
+
+impl Default for AllocOptions {
+    fn default() -> Self {
+        AllocOptions {
+            stripe: StripeSpec::All,
+            placement: PlacementPolicy::RoundRobin,
+        }
+    }
+}
+
+/// One variable's region inside a checkpoint file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarRecord {
+    pub name: String,
+    pub byte_len: u64,
+    /// Byte offset of the variable's first (chunk-aligned) byte within the
+    /// checkpoint file.
+    pub offset: u64,
+}
+
+/// A completed checkpoint: enough metadata to restart from it.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    pub name: String,
+    pub file: FileId,
+    pub timestep: u64,
+    pub dram_len: u64,
+    pub vars: Vec<VarRecord>,
+}
+
+/// The per-process NVMalloc handle.
+pub struct NvmClient {
+    mount: Mount,
+    client_id: u64,
+    next_alloc: AtomicU64,
+    next_ckpt: AtomicU64,
+    opts: AllocOptions,
+    app_read_bytes: Counter,
+    app_write_bytes: Counter,
+    mallocs: Counter,
+    frees: Counter,
+    checkpoints: Counter,
+}
+
+impl NvmClient {
+    /// `client_id` must be unique across processes (use the MPI rank).
+    pub fn new(mount: Mount, client_id: u64, opts: AllocOptions, stats: &StatsRegistry) -> Self {
+        NvmClient {
+            mount,
+            client_id,
+            next_alloc: AtomicU64::new(0),
+            next_ckpt: AtomicU64::new(0),
+            opts,
+            app_read_bytes: stats.counter("nvm.app_read_bytes"),
+            app_write_bytes: stats.counter("nvm.app_write_bytes"),
+            mallocs: stats.counter("nvm.mallocs"),
+            frees: stats.counter("nvm.frees"),
+            checkpoints: stats.counter("nvm.checkpoints"),
+        }
+    }
+
+    pub fn mount(&self) -> &Mount {
+        &self.mount
+    }
+
+    fn auto_name(&self) -> String {
+        let n = self.next_alloc.fetch_add(1, Ordering::Relaxed);
+        format!("/nvmalloc/c{}/v{}", self.client_id, n)
+    }
+
+    /// Allocate `len` elements of `T` from the NVM store (default stripe).
+    pub fn ssdmalloc<T: Pod>(&self, ctx: &mut ProcCtx, len: usize) -> Result<NvmVec<T>> {
+        let opts = self.opts.clone();
+        self.ssdmalloc_opts(ctx, len, &opts)
+    }
+
+    /// Allocate with explicit placement options.
+    pub fn ssdmalloc_opts<T: Pod>(
+        &self,
+        ctx: &mut ProcCtx,
+        len: usize,
+        opts: &AllocOptions,
+    ) -> Result<NvmVec<T>> {
+        let name = self.auto_name();
+        let bytes = len as u64 * std::mem::size_of::<T>() as u64;
+        ctx.yield_until_min();
+        let (t, file) = self.mount.create(
+            ctx.now(),
+            &name,
+            bytes,
+            opts.stripe.clone(),
+            opts.placement,
+        )?;
+        ctx.advance_to(t);
+        self.mallocs.inc();
+        Ok(NvmVec::new(
+            self.mount.clone(),
+            file,
+            name,
+            len,
+            false,
+            self.app_read_bytes.clone(),
+            self.app_write_bytes.clone(),
+        ))
+    }
+
+    /// Map a *shared* variable: the first caller creates the backing file
+    /// under `/shared/<key>`, later callers map the same file. This is
+    /// the option behind the paper's shared-mmap-file mode for matrix B.
+    pub fn ssdmalloc_shared<T: Pod>(
+        &self,
+        ctx: &mut ProcCtx,
+        key: &str,
+        len: usize,
+    ) -> Result<NvmVec<T>> {
+        let opts = self.opts.clone();
+        self.ssdmalloc_shared_opts(ctx, key, len, &opts)
+    }
+
+    pub fn ssdmalloc_shared_opts<T: Pod>(
+        &self,
+        ctx: &mut ProcCtx,
+        key: &str,
+        len: usize,
+        opts: &AllocOptions,
+    ) -> Result<NvmVec<T>> {
+        let name = format!("/shared/{key}");
+        let bytes = len as u64 * std::mem::size_of::<T>() as u64;
+        ctx.yield_until_min();
+        let file = match self.mount.create(
+            ctx.now(),
+            &name,
+            bytes,
+            opts.stripe.clone(),
+            opts.placement,
+        ) {
+            Ok((t, file)) => {
+                ctx.advance_to(t);
+                self.mallocs.inc();
+                file
+            }
+            Err(StoreError::FileExists(_)) => {
+                let (t, found) = self.mount.open(ctx.now(), &name);
+                ctx.advance_to(t);
+                let file = found.ok_or(StoreError::NoSuchFile)?;
+                let existing = self.mount.file_size(file)?;
+                assert_eq!(
+                    existing, bytes,
+                    "shared variable {key} mapped with a different size"
+                );
+                file
+            }
+            Err(e) => return Err(e),
+        };
+        Ok(NvmVec::new(
+            self.mount.clone(),
+            file,
+            name,
+            len,
+            true,
+            self.app_read_bytes.clone(),
+            self.app_write_bytes.clone(),
+        ))
+    }
+
+    /// Unmap and release a variable. Shared mappings only drop the local
+    /// handle — use [`NvmClient::unlink_shared`] (from one process) to
+    /// delete the backing file.
+    pub fn ssdfree<T: Pod>(&self, ctx: &mut ProcCtx, var: NvmVec<T>) -> Result<()> {
+        self.frees.inc();
+        if var.is_shared() {
+            return Ok(()); // munmap only
+        }
+        ctx.yield_until_min();
+        let t = self.mount.delete(ctx.now(), var.file_id())?;
+        ctx.advance_to(t);
+        Ok(())
+    }
+
+    /// Map an existing shared/persistent variable by key without creating
+    /// it — the consumer side of the paper's §III-C workflow scenario
+    /// ("data sharing between a workflow of jobs or a simulation and its
+    /// in-situ analysis"): variables outlive the job that produced them
+    /// because the store, not the process, owns the chunks.
+    pub fn open_var<T: Pod>(&self, ctx: &mut ProcCtx, key: &str) -> Result<NvmVec<T>> {
+        let name = format!("/shared/{key}");
+        ctx.yield_until_min();
+        let (t, found) = self.mount.open(ctx.now(), &name);
+        ctx.advance_to(t);
+        let file = found.ok_or(StoreError::NoSuchFile)?;
+        let bytes = self.mount.file_size(file)?;
+        let elem = std::mem::size_of::<T>() as u64;
+        assert_eq!(bytes % elem, 0, "element size does not divide {key}'s size");
+        Ok(NvmVec::new(
+            self.mount.clone(),
+            file,
+            name,
+            (bytes / elem) as usize,
+            true,
+            self.app_read_bytes.clone(),
+            self.app_write_bytes.clone(),
+        ))
+    }
+
+    /// Delete a shared variable's backing file (call from exactly one
+    /// process after all mappers are done).
+    pub fn unlink_shared(&self, ctx: &mut ProcCtx, key: &str) -> Result<()> {
+        let name = format!("/shared/{key}");
+        ctx.yield_until_min();
+        let (t, found) = self.mount.open(ctx.now(), &name);
+        ctx.advance_to(t);
+        let file = found.ok_or(StoreError::NoSuchFile)?;
+        ctx.yield_until_min();
+        let t = self.mount.delete(ctx.now(), file)?;
+        ctx.advance_to(t);
+        Ok(())
+    }
+
+    /// Checkpoint `dram_state` plus every listed NVM variable into one
+    /// logical restart file (§III-E).
+    ///
+    /// DRAM bytes are *copied* into fresh chunks; each variable is first
+    /// flushed (so its chunks reflect the current contents) and then its
+    /// chunks are *linked* into the checkpoint — no data movement, no
+    /// extra NVM wear, and copy-on-write protects the frozen image from
+    /// subsequent writes. Incremental checkpointing falls out for free:
+    /// the next checkpoint links whatever chunks the variable then has,
+    /// sharing all unmodified ones.
+    pub fn ssdcheckpoint(
+        &self,
+        ctx: &mut ProcCtx,
+        app: &str,
+        dram_state: &[u8],
+        vars: &[&dyn NvmVariable],
+    ) -> Result<Checkpoint> {
+        let timestep = self.next_ckpt.fetch_add(1, Ordering::Relaxed);
+        let name = format!("/ckpt/{app}/c{}/t{timestep}", self.client_id);
+        let chunk = self.mount.store().config().chunk_size;
+
+        ctx.yield_until_min();
+        let mut t = ctx.now();
+
+        // 1. Create the restart file sized for the DRAM image.
+        let (t1, ckpt_file) = self.mount.store().create_file(t, self.mount.node(), &name)?;
+        t = t1;
+        if !dram_state.is_empty() {
+            t = self.mount.store().fallocate(
+                t,
+                self.mount.node(),
+                ckpt_file,
+                dram_state.len() as u64,
+                self.opts.stripe.clone(),
+                self.opts.placement,
+            )?;
+            // 2. Stream the DRAM image into it.
+            t = self
+                .mount
+                .store()
+                .write_span(t, self.mount.node(), ckpt_file, 0, dram_state)?;
+        }
+
+        // 3. Flush + link each variable.
+        let mut offset = (dram_state.len() as u64).div_ceil(chunk) * chunk;
+        let mut records = Vec::with_capacity(vars.len());
+        for var in vars {
+            t = var.flush_at(t)?;
+            t = self
+                .mount
+                .store()
+                .link_file(t, self.mount.node(), ckpt_file, var.file_id())?;
+            records.push(VarRecord {
+                name: var.var_name().to_string(),
+                byte_len: var.byte_len(),
+                offset,
+            });
+            offset += var.byte_len().div_ceil(chunk) * chunk;
+        }
+
+        ctx.advance_to(t);
+        self.checkpoints.inc();
+        Ok(Checkpoint {
+            name,
+            file: ckpt_file,
+            timestep,
+            dram_len: dram_state.len() as u64,
+            vars: records,
+        })
+    }
+
+    /// Restart path: read the DRAM image back out of a checkpoint.
+    pub fn restore_dram(&self, ctx: &mut ProcCtx, ckpt: &Checkpoint) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; ckpt.dram_len as usize];
+        if !buf.is_empty() {
+            ctx.yield_until_min();
+            let t =
+                self.mount
+                    .store()
+                    .read_span(ctx.now(), self.mount.node(), ckpt.file, 0, &mut buf)?;
+            ctx.advance_to(t);
+        }
+        Ok(buf)
+    }
+
+    /// Restart path: materialize checkpointed variable `index` as a fresh
+    /// NVM variable.
+    pub fn restore_var<T: Pod>(
+        &self,
+        ctx: &mut ProcCtx,
+        ckpt: &Checkpoint,
+        index: usize,
+    ) -> Result<NvmVec<T>> {
+        let rec = &ckpt.vars[index];
+        let elem = std::mem::size_of::<T>() as u64;
+        assert_eq!(rec.byte_len % elem, 0, "element size mismatch on restore");
+        let len = (rec.byte_len / elem) as usize;
+        let var: NvmVec<T> = self.ssdmalloc(ctx, len)?;
+
+        // Stream the frozen bytes from the checkpoint into the new file.
+        let mut buf = vec![0u8; rec.byte_len as usize];
+        ctx.yield_until_min();
+        let t = self.mount.store().read_span(
+            ctx.now(),
+            self.mount.node(),
+            ckpt.file,
+            rec.offset,
+            &mut buf,
+        )?;
+        let t = self
+            .mount
+            .store()
+            .write_span(t, self.mount.node(), var.file_id(), 0, &buf)?;
+        ctx.advance_to(t);
+        Ok(var)
+    }
+
+    /// Delete a checkpoint file (releases its chunk references).
+    pub fn delete_checkpoint(&self, ctx: &mut ProcCtx, ckpt: &Checkpoint) -> Result<()> {
+        ctx.yield_until_min();
+        let t = self.mount.store().delete(ctx.now(), self.mount.node(), ckpt.file)?;
+        ctx.advance_to(t);
+        Ok(())
+    }
+
+    /// Drain a checkpoint from the NVM store to the parallel file system.
+    ///
+    /// The paper's staging model (§III-E, citing the authors' prior work):
+    /// "checkpointing to such an intermediate device and draining to PFS
+    /// in the background is an extremely viable alternative and can help
+    /// alleviate the I/O bottleneck." The drain streams every chunk of
+    /// the restart file from its benefactor to the PFS. Pass
+    /// `background = true` to model an asynchronous drain: store-side and
+    /// PFS resources are charged (they are busy) but the caller's clock
+    /// does not wait; the returned time says when the PFS copy is safe.
+    pub fn drain_checkpoint_to_pfs(
+        &self,
+        ctx: &mut ProcCtx,
+        ckpt: &Checkpoint,
+        pfs: &devices::Pfs,
+        background: bool,
+    ) -> Result<simcore::VTime> {
+        let store = self.mount.store();
+        let total = store.file_size(ckpt.file)?;
+        ctx.yield_until_min();
+        let mut t = ctx.now();
+        // Stream chunk-sized pieces: benefactor read + network, then PFS.
+        let chunk = store.config().chunk_size;
+        let mut buf = vec![0u8; chunk as usize];
+        let mut off = 0u64;
+        let mut done = t;
+        while off < total {
+            let take = chunk.min(total - off);
+            let t2 = store.read_span(t, self.mount.node(), ckpt.file, off, &mut buf[..take as usize])?;
+            let g = pfs.write_at(t2, take);
+            done = g.end;
+            t = t2; // pipeline: next read can start while the PFS drains
+            off += take;
+        }
+        if !background {
+            ctx.advance_to(done);
+        }
+        Ok(done)
+    }
+}

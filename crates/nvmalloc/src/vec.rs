@@ -1,0 +1,226 @@
+//! `NvmVec<T>` — a typed, NVM-resident variable.
+//!
+//! The paper's `nvmvar = ssdmalloc(...)` hands back a memory-mapped
+//! region; addresses inside it transparently become reads/writes against
+//! the chunk store through the FUSE cache. This type is the safe-Rust
+//! equivalent: element and slice accessors that route through the node's
+//! [`fusemm::Mount`] while charging virtual time on the owning process's
+//! clock.
+
+use crate::pod::{bytes_of, bytes_of_mut, Pod};
+use chunkstore::{FileId, Result};
+use fusemm::Mount;
+use simcore::{Counter, ProcCtx, VTime};
+use std::marker::PhantomData;
+
+/// A typed variable allocated from the aggregate NVM store.
+pub struct NvmVec<T: Pod> {
+    mount: Mount,
+    file: FileId,
+    name: String,
+    len: usize,
+    shared: bool,
+    app_read_bytes: Counter,
+    app_write_bytes: Counter,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Pod> NvmVec<T> {
+    pub(crate) fn new(
+        mount: Mount,
+        file: FileId,
+        name: String,
+        len: usize,
+        shared: bool,
+        app_read_bytes: Counter,
+        app_write_bytes: Counter,
+    ) -> Self {
+        NvmVec {
+            mount,
+            file,
+            name,
+            len,
+            shared,
+            app_read_bytes,
+            app_write_bytes,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of `T` elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Backing file on the aggregate store (internal name, invisible to
+    /// the application in the paper's design).
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether this is a shared mmap file (several processes map it).
+    pub fn is_shared(&self) -> bool {
+        self.shared
+    }
+
+    fn elem_size() -> u64 {
+        std::mem::size_of::<T>() as u64
+    }
+
+    /// Byte length of the variable.
+    pub fn byte_len(&self) -> u64 {
+        self.len as u64 * Self::elem_size()
+    }
+
+    /// Read element `i` (the paper's `x = nvmvar[i]`).
+    pub fn get(&self, ctx: &mut ProcCtx, i: usize) -> Result<T> {
+        let mut tmp = [T::zeroed()];
+        self.read_slice(ctx, i, &mut tmp)?;
+        Ok(tmp[0])
+    }
+
+    /// Write element `i` (the paper's `nvmvar[i] = x`).
+    pub fn set(&self, ctx: &mut ProcCtx, i: usize, value: T) -> Result<()> {
+        self.write_slice(ctx, i, &[value])
+    }
+
+    /// Iterate chunk-aligned byte segments of `[byte_start, byte_start+len)`.
+    /// Large slice accesses are split at chunk boundaries with an engine
+    /// yield per segment, so concurrent processes' requests reach shared
+    /// resources in virtual-time order (one huge atomic charge would
+    /// reserve far-future device slots ahead of other ranks' earlier
+    /// accesses).
+    fn for_each_segment(
+        &self,
+        byte_start: u64,
+        len: u64,
+        mut f: impl FnMut(u64, usize, usize) -> Result<()>,
+    ) -> Result<()> {
+        let chunk = self.mount.store().config().chunk_size;
+        let mut pos = 0u64;
+        while pos < len {
+            let abs = byte_start + pos;
+            let take = (chunk - abs % chunk).min(len - pos);
+            f(abs, pos as usize, take as usize)?;
+            pos += take;
+        }
+        Ok(())
+    }
+
+    /// Read `out.len()` elements starting at `start`.
+    pub fn read_slice(&self, ctx: &mut ProcCtx, start: usize, out: &mut [T]) -> Result<()> {
+        if out.is_empty() {
+            return Ok(());
+        }
+        assert!(start + out.len() <= self.len, "read past end of NvmVec");
+        self.app_read_bytes
+            .add(out.len() as u64 * Self::elem_size());
+        let bytes = bytes_of_mut(out);
+        let byte_start = start as u64 * Self::elem_size();
+        self.for_each_segment(byte_start, bytes.len() as u64, |abs, pos, take| {
+            ctx.yield_until_min();
+            let t = self
+                .mount
+                .read(ctx.now(), self.file, abs, &mut bytes[pos..pos + take])?;
+            ctx.advance_to(t);
+            Ok(())
+        })
+    }
+
+    /// Strided read: `count` runs of `run_elems` elements, run `i`
+    /// starting at element `start + i*stride_elems`, concatenated into
+    /// `out` (which must hold `count * run_elems` elements). This is the
+    /// access shape of a column-major traversal over row-major storage.
+    pub fn read_strided(
+        &self,
+        ctx: &mut ProcCtx,
+        start: usize,
+        run_elems: usize,
+        stride_elems: usize,
+        count: usize,
+        out: &mut [T],
+    ) -> Result<()> {
+        assert_eq!(out.len(), run_elems * count, "output size mismatch");
+        if out.is_empty() {
+            return Ok(());
+        }
+        let es = Self::elem_size();
+        self.app_read_bytes.add(out.len() as u64 * es);
+        ctx.yield_until_min();
+        let t = self.mount.read_strided(
+            ctx.now(),
+            self.file,
+            start as u64 * es,
+            run_elems as u64 * es,
+            stride_elems as u64 * es,
+            count as u64,
+            bytes_of_mut(out),
+        )?;
+        ctx.advance_to(t);
+        Ok(())
+    }
+
+    /// Write `data.len()` elements starting at `start`.
+    pub fn write_slice(&self, ctx: &mut ProcCtx, start: usize, data: &[T]) -> Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        assert!(start + data.len() <= self.len, "write past end of NvmVec");
+        self.app_write_bytes
+            .add(data.len() as u64 * Self::elem_size());
+        let bytes = bytes_of(data);
+        let byte_start = start as u64 * Self::elem_size();
+        self.for_each_segment(byte_start, bytes.len() as u64, |abs, pos, take| {
+            ctx.yield_until_min();
+            let t = self
+                .mount
+                .write(ctx.now(), self.file, abs, &bytes[pos..pos + take])?;
+            ctx.advance_to(t);
+            Ok(())
+        })
+    }
+
+    /// Push all dirty cached pages of this variable to the store (used by
+    /// checkpointing and before hand-off to other nodes). Flushes one
+    /// chunk per engine yield so concurrent flushers interleave correctly.
+    pub fn flush(&self, ctx: &mut ProcCtx) -> Result<()> {
+        for idx in self.mount.dirty_chunks_of(self.file) {
+            ctx.yield_until_min();
+            let t = self.mount.flush_chunk(ctx.now(), self.file, idx)?;
+            ctx.advance_to(t);
+        }
+        Ok(())
+    }
+}
+
+/// Type-erased view used by `ssdcheckpoint` to flush + link any variable.
+pub trait NvmVariable {
+    fn file_id(&self) -> FileId;
+    fn byte_len(&self) -> u64;
+    fn var_name(&self) -> &str;
+    /// Untimed-time variant of flush for the checkpoint path.
+    fn flush_at(&self, t: VTime) -> Result<VTime>;
+}
+
+impl<T: Pod> NvmVariable for NvmVec<T> {
+    fn file_id(&self) -> FileId {
+        self.file
+    }
+    fn byte_len(&self) -> u64 {
+        NvmVec::byte_len(self)
+    }
+    fn var_name(&self) -> &str {
+        &self.name
+    }
+    fn flush_at(&self, t: VTime) -> Result<VTime> {
+        self.mount.flush_file(t, self.file)
+    }
+}

@@ -1,0 +1,522 @@
+//! Conservative virtual-time process scheduler.
+//!
+//! Each simulated process (an MPI rank, a benefactor, a STREAM thread) runs
+//! on its own host thread but holds a *baton*: exactly one process executes
+//! at a time, and the engine always hands the baton to the runnable process
+//! with the smallest `(virtual clock, process id)` pair. Any process that is
+//! about to touch shared simulation state first waits until it holds the
+//! global minimum clock ([`ProcCtx::yield_until_min`]), which guarantees
+//! that shared resources and caches observe operations in virtual-time
+//! order. The result is a deterministic, reproducible parallel-discrete-
+//! event simulation without the complexity of full event inversion.
+//!
+//! Blocking coordination (collectives, rendezvous) uses
+//! [`ProcCtx::suspend_self`] / [`ProcCtx::resume_other`]: a suspended
+//! process is excluded from the minimum-clock computation and re-enters the
+//! ready set at the virtual time chosen by its resumer, which is never in
+//! the causal past because the resumer itself only acts while holding the
+//! minimum clock.
+
+use crate::time::VTime;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// Identifies a process within one [`Engine`] run.
+pub type ProcId = usize;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    /// Eligible to run at this clock.
+    Ready(VTime),
+    /// Currently holds the baton; the clock is the one it was granted at
+    /// (a resumer may have advanced it while the process was parked).
+    Running(VTime),
+    /// Blocked waiting for a `resume_other` (e.g. inside a collective).
+    Suspended(VTime),
+    /// Returned from its body.
+    Done(VTime),
+}
+
+struct Sched {
+    states: Vec<State>,
+    switches: u64,
+    poisoned: bool,
+}
+
+impl Sched {
+    /// The runnable process with the minimum `(clock, id)`, if any.
+    fn min_ready(&self) -> Option<(ProcId, VTime)> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(id, s)| match s {
+                State::Ready(t) => Some((id, *t)),
+                _ => None,
+            })
+            .min_by_key(|&(id, t)| (t, id))
+    }
+
+    /// Minimum clock over every process that could still act at it:
+    /// ready processes and (when `exclude` is not them) the running one.
+    fn min_active_clock_excluding(&self, me: ProcId, my_clock: VTime) -> Option<(VTime, ProcId)> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|&(id, _)| id != me)
+            .filter_map(|(id, s)| match s {
+                State::Ready(t) => Some((*t, id)),
+                _ => None,
+            })
+            .min()
+            .filter(|&(t, id)| (t, id) < (my_clock, me))
+    }
+
+    fn all_parked(&self) -> bool {
+        self.states
+            .iter()
+            .all(|s| matches!(s, State::Suspended(_) | State::Done(_)))
+    }
+}
+
+struct Shared {
+    sched: Mutex<Sched>,
+    cv: Condvar,
+}
+
+impl Shared {
+    /// Hand the baton to the best ready process (caller must NOT be Running).
+    /// Returns false when nothing is ready (everyone parked or done).
+    fn dispatch(sched: &mut Sched) -> bool {
+        if let Some((next, t)) = sched.min_ready() {
+            sched.states[next] = State::Running(t);
+            sched.switches += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Per-process handle passed to a process body; all virtual-time operations
+/// go through it.
+pub struct ProcCtx {
+    id: ProcId,
+    clock: VTime,
+    shared: Arc<Shared>,
+}
+
+impl ProcCtx {
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// This process's virtual clock.
+    pub fn now(&self) -> VTime {
+        self.clock
+    }
+
+    /// Advance the local clock by `dt` (local computation: no shared state
+    /// involved, so no yield is necessary for correctness; we still yield
+    /// when we are far ahead so other processes interleave).
+    pub fn advance(&mut self, dt: VTime) {
+        self.clock += dt;
+    }
+
+    /// Set the local clock directly; must not move backwards.
+    pub fn advance_to(&mut self, t: VTime) {
+        assert!(t >= self.clock, "clock may not move backwards");
+        self.clock = t;
+    }
+
+    /// Block until this process holds the minimum `(clock, id)` among all
+    /// non-suspended processes. Call before touching shared simulation
+    /// state (resources, caches, stores) so mutations occur in virtual-time
+    /// order.
+    pub fn yield_until_min(&mut self) {
+        loop {
+            let shared = Arc::clone(&self.shared);
+            {
+                let mut sched = shared.sched.lock();
+                assert!(!sched.poisoned, "engine poisoned by a panicking process");
+                if sched
+                    .min_active_clock_excluding(self.id, self.clock)
+                    .is_none()
+                {
+                    return; // we are the minimum; keep the baton
+                }
+                // Someone is strictly behind us: hand over and wait.
+                sched.states[self.id] = State::Ready(self.clock);
+                let ok = Shared::dispatch(&mut sched);
+                debug_assert!(ok, "a ready process must exist: ourselves");
+                shared.cv.notify_all();
+            }
+            self.wait_until_running();
+        }
+    }
+
+    /// Park this process; returns once another process calls
+    /// [`ProcCtx::resume_other`] for it, with the clock set by the resumer.
+    pub fn suspend_self(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        {
+            let mut sched = shared.sched.lock();
+            sched.states[self.id] = State::Suspended(self.clock);
+            if !Shared::dispatch(&mut sched) {
+                assert!(
+                    !sched.all_parked(),
+                    "virtual-time deadlock: every process is suspended \
+                     (unmatched collective or rendezvous?)"
+                );
+            }
+            shared.cv.notify_all();
+        }
+        self.wait_until_running();
+        // Our resumer stored the release clock in our state before flipping
+        // us to Ready; wait_until_running picked it up.
+    }
+
+    /// Make a suspended process ready again at virtual time `at`.
+    ///
+    /// `at` must be at or after the resumee's suspension time, and the
+    /// caller should itself hold the minimum clock (it just resolved a
+    /// shared rendezvous), which keeps virtual time causal.
+    pub fn resume_other(&self, other: ProcId, at: VTime) {
+        assert_ne!(other, self.id, "use advance_to for the current process");
+        let mut sched = self.shared.sched.lock();
+        match sched.states[other] {
+            State::Suspended(t) => {
+                assert!(
+                    at >= t,
+                    "resume at {at} would move process {other} back from {t}"
+                );
+                sched.states[other] = State::Ready(at);
+            }
+            ref s => panic!("resume_other({other}): process is {s:?}, not Suspended"),
+        }
+        self.shared.cv.notify_all();
+    }
+
+    fn wait_until_running(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        let mut sched = shared.sched.lock();
+        loop {
+            assert!(!sched.poisoned, "engine poisoned by a panicking process");
+            match sched.states[self.id] {
+                State::Running(t) => {
+                    // A resumer may have advanced our clock while we waited.
+                    if t > self.clock {
+                        self.clock = t;
+                    }
+                    break;
+                }
+                State::Ready(_) | State::Suspended(_) => {
+                    // Belt and braces: if nothing is running (a dispatch
+                    // found no ready process before we became ready), claim
+                    // the baton ourselves when we are the minimum.
+                    if matches!(sched.states[self.id], State::Ready(_))
+                        && !sched
+                            .states
+                            .iter()
+                            .any(|s| matches!(s, State::Running(_)))
+                    {
+                        if let Some((next, t)) = sched.min_ready() {
+                            if next == self.id {
+                                sched.states[self.id] = State::Running(t);
+                                sched.switches += 1;
+                                continue;
+                            }
+                        }
+                    }
+                    shared.cv.wait(&mut sched);
+                }
+                State::Done(_) => unreachable!("done process rescheduled"),
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        let mut sched = self.shared.sched.lock();
+        sched.states[self.id] = State::Done(self.clock);
+        Shared::dispatch(&mut sched);
+        self.shared.cv.notify_all();
+    }
+}
+
+/// Outcome of an [`Engine::run`].
+#[derive(Clone, Debug)]
+pub struct EngineReport {
+    /// Virtual finish time of each process, indexed by `ProcId`.
+    pub finish_times: Vec<VTime>,
+    /// max(finish_times): the simulated wall-clock of the whole job.
+    pub makespan: VTime,
+    /// Number of baton hand-offs (scheduling overhead metric).
+    pub context_switches: u64,
+}
+
+/// The simulation engine. Construct process bodies, run them to completion
+/// in deterministic virtual-time order, and collect per-process times.
+pub struct Engine;
+
+impl Engine {
+    /// Run `bodies` as simulated processes starting at virtual time zero.
+    ///
+    /// Bodies may borrow from the caller's stack (scoped threads). The call
+    /// returns when every process body has returned. Panics in any body are
+    /// propagated after poisoning the engine so no thread hangs.
+    pub fn run<'env, F>(bodies: Vec<F>) -> EngineReport
+    where
+        F: FnOnce(&mut ProcCtx) + Send + 'env,
+    {
+        let n = bodies.len();
+        assert!(n > 0, "engine needs at least one process");
+        let shared = Arc::new(Shared {
+            sched: Mutex::new(Sched {
+                states: vec![State::Ready(VTime::ZERO); n],
+                switches: 0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+        });
+        // Kick off: lowest id starts running.
+        {
+            let mut sched = shared.sched.lock();
+            let ok = Shared::dispatch(&mut sched);
+            assert!(ok);
+        }
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (id, body) in bodies.into_iter().enumerate() {
+                let shared = Arc::clone(&shared);
+                handles.push(scope.spawn(move || {
+                    let mut ctx = ProcCtx {
+                        id,
+                        clock: VTime::ZERO,
+                        shared,
+                    };
+                    // Wait for the baton before the first action.
+                    ctx.wait_until_running();
+                    let guard = PoisonGuard {
+                        shared: Arc::clone(&ctx.shared),
+                    };
+                    body(&mut ctx);
+                    std::mem::forget(guard);
+                    ctx.finish();
+                }));
+            }
+            // Join manually so an original panic payload (not the generic
+            // "a scoped thread panicked") reaches the caller. Secondary
+            // "engine poisoned" panics from bystander processes are the
+            // least interesting payloads, so prefer any other.
+            let mut panics: Vec<Box<dyn std::any::Any + Send>> = Vec::new();
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    panics.push(payload);
+                }
+            }
+            if !panics.is_empty() {
+                let is_secondary = |p: &Box<dyn std::any::Any + Send>| {
+                    p.downcast_ref::<String>()
+                        .map(|s| s.contains("engine poisoned"))
+                        .or_else(|| {
+                            p.downcast_ref::<&str>().map(|s| s.contains("engine poisoned"))
+                        })
+                        .unwrap_or(false)
+                };
+                let idx = panics.iter().position(|p| !is_secondary(p)).unwrap_or(0);
+                std::panic::resume_unwind(panics.swap_remove(idx));
+            }
+        });
+
+        let sched = shared.sched.lock();
+        let finish_times: Vec<VTime> = sched
+            .states
+            .iter()
+            .map(|s| match s {
+                State::Done(t) => *t,
+                other => panic!("process did not finish: {other:?}"),
+            })
+            .collect();
+        let makespan = finish_times.iter().copied().max().unwrap_or(VTime::ZERO);
+        EngineReport {
+            makespan,
+            context_switches: sched.switches,
+            finish_times,
+        }
+    }
+}
+
+/// Panic guard: if a process body panics, poison the engine so every other
+/// thread wakes up and unwinds instead of hanging. Forgotten on the normal
+/// return path.
+struct PoisonGuard {
+    shared: Arc<Shared>,
+}
+
+impl Drop for PoisonGuard {
+    fn drop(&mut self) {
+        let mut sched = self.shared.sched.lock();
+        sched.poisoned = true;
+        self.shared.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PMutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_process_runs() {
+        let report = Engine::run(vec![|ctx: &mut ProcCtx| {
+            ctx.advance(VTime::from_secs(3));
+        }]);
+        assert_eq!(report.makespan, VTime::from_secs(3));
+        assert_eq!(report.finish_times, vec![VTime::from_secs(3)]);
+    }
+
+    #[test]
+    fn processes_interleave_in_virtual_time_order() {
+        // Two processes append (id, now) to a shared log at 10ns steps with
+        // different phases; the log must come out sorted by (time, id).
+        let log: Arc<PMutex<Vec<(usize, VTime)>>> = Arc::new(PMutex::new(Vec::new()));
+        let mk = |id: usize, start: u64, log: Arc<PMutex<Vec<(usize, VTime)>>>| {
+            move |ctx: &mut ProcCtx| {
+                ctx.advance(VTime::from_nanos(start));
+                for _ in 0..50 {
+                    ctx.yield_until_min();
+                    log.lock().push((id, ctx.now()));
+                    ctx.advance(VTime::from_nanos(10));
+                }
+            }
+        };
+        Engine::run(vec![
+            Box::new(mk(0, 0, Arc::clone(&log))) as Box<dyn FnOnce(&mut ProcCtx) + Send>,
+            Box::new(mk(1, 5, Arc::clone(&log))),
+        ]);
+        let log = log.lock();
+        assert_eq!(log.len(), 100);
+        let mut sorted = log.clone();
+        sorted.sort_by_key(|&(id, t)| (t, id));
+        assert_eq!(*log, sorted, "shared accesses must occur in vtime order");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run_once = || {
+            let log: Arc<PMutex<Vec<usize>>> = Arc::new(PMutex::new(Vec::new()));
+            let mk = |id: usize, step: u64, log: Arc<PMutex<Vec<usize>>>| {
+                move |ctx: &mut ProcCtx| {
+                    for _ in 0..20 {
+                        ctx.yield_until_min();
+                        log.lock().push(id);
+                        ctx.advance(VTime::from_nanos(step));
+                    }
+                }
+            };
+            Engine::run(vec![
+                Box::new(mk(0, 7, Arc::clone(&log))) as Box<dyn FnOnce(&mut ProcCtx) + Send>,
+                Box::new(mk(1, 11, Arc::clone(&log))),
+                Box::new(mk(2, 13, Arc::clone(&log))),
+            ]);
+            Arc::try_unwrap(log).unwrap().into_inner()
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn suspend_and_resume() {
+        // Process 1 suspends; process 0 resumes it at t=100.
+        let report = Engine::run(vec![
+            Box::new(|ctx: &mut ProcCtx| {
+                ctx.advance(VTime::from_nanos(50));
+                ctx.yield_until_min();
+                ctx.resume_other(1, VTime::from_nanos(100));
+                ctx.advance(VTime::from_nanos(1));
+            }) as Box<dyn FnOnce(&mut ProcCtx) + Send>,
+            Box::new(|ctx: &mut ProcCtx| {
+                ctx.suspend_self();
+                assert_eq!(ctx.now(), VTime::from_nanos(100));
+            }),
+        ]);
+        assert_eq!(report.finish_times[1], VTime::from_nanos(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn all_suspended_is_deadlock() {
+        Engine::run(vec![
+            Box::new(|ctx: &mut ProcCtx| ctx.suspend_self())
+                as Box<dyn FnOnce(&mut ProcCtx) + Send>,
+            Box::new(|ctx: &mut ProcCtx| ctx.suspend_self()),
+        ]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn panic_in_body_propagates_without_hanging() {
+        Engine::run(vec![
+            Box::new(|ctx: &mut ProcCtx| {
+                ctx.advance(VTime::from_secs(1));
+                ctx.yield_until_min();
+                panic!("worker exploded");
+            }) as Box<dyn FnOnce(&mut ProcCtx) + Send>,
+            Box::new(|ctx: &mut ProcCtx| {
+                for _ in 0..1000 {
+                    ctx.advance(VTime::from_millis(1));
+                    ctx.yield_until_min();
+                }
+            }),
+        ]);
+    }
+
+    #[test]
+    fn ties_broken_by_process_id() {
+        let log: Arc<PMutex<Vec<usize>>> = Arc::new(PMutex::new(Vec::new()));
+        let mk = |id: usize, log: Arc<PMutex<Vec<usize>>>| {
+            move |ctx: &mut ProcCtx| {
+                ctx.yield_until_min();
+                log.lock().push(id);
+            }
+        };
+        // All at clock 0: must run 0, 1, 2.
+        Engine::run(vec![
+            Box::new(mk(0, Arc::clone(&log))) as Box<dyn FnOnce(&mut ProcCtx) + Send>,
+            Box::new(mk(1, Arc::clone(&log))),
+            Box::new(mk(2, Arc::clone(&log))),
+        ]);
+        assert_eq!(*log.lock(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn makespan_is_max_finish() {
+        let report = Engine::run(vec![
+            Box::new(|ctx: &mut ProcCtx| ctx.advance(VTime::from_secs(1)))
+                as Box<dyn FnOnce(&mut ProcCtx) + Send>,
+            Box::new(|ctx: &mut ProcCtx| ctx.advance(VTime::from_secs(5))),
+            Box::new(|ctx: &mut ProcCtx| ctx.advance(VTime::from_secs(2))),
+        ]);
+        assert_eq!(report.makespan, VTime::from_secs(5));
+        assert_eq!(report.finish_times.len(), 3);
+    }
+
+    #[test]
+    fn advance_to_moves_forward() {
+        Engine::run(vec![|ctx: &mut ProcCtx| {
+            ctx.advance_to(VTime::from_secs(2));
+            assert_eq!(ctx.now(), VTime::from_secs(2));
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn advance_to_rejects_past() {
+        Engine::run(vec![|ctx: &mut ProcCtx| {
+            ctx.advance(VTime::from_secs(2));
+            ctx.advance_to(VTime::from_secs(1));
+        }]);
+    }
+}

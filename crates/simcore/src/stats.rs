@@ -1,0 +1,189 @@
+//! Lightweight named counters for traffic accounting.
+//!
+//! The paper's evaluation reports several *volume* tables (Table IV: bytes
+//! seen by the application vs. the FUSE layer vs. the SSD store; Table VII:
+//! write-optimization volumes). Every layer of the reproduction stack
+//! increments `Counter`s, and experiments snapshot/diff them through a
+//! [`StatsRegistry`].
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing `u64` counter. Cheap to clone (shared).
+#[derive(Clone, Debug)]
+pub struct Counter {
+    name: Arc<str>,
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter {
+            name: Arc::from(name.into().into_boxed_str()),
+            value: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.name, self.get())
+    }
+}
+
+/// A registry of counters so whole subsystems can be snapshotted at once.
+#[derive(Clone, Default)]
+pub struct StatsRegistry {
+    counters: Arc<Mutex<BTreeMap<String, Counter>>>,
+}
+
+impl StatsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter with this name.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock();
+        map.entry(name.to_string())
+            .or_insert_with(|| Counter::new(name))
+            .clone()
+    }
+
+    /// Current value of a counter (0 if it does not exist yet).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .get(name)
+            .map(|c| c.get())
+            .unwrap_or(0)
+    }
+
+    /// Point-in-time copy of every counter value.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            values: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+        }
+    }
+
+    /// Set every counter back to zero.
+    pub fn reset_all(&self) {
+        for c in self.counters.lock().values() {
+            c.reset();
+        }
+    }
+}
+
+impl fmt::Debug for StatsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StatsRegistry")
+            .field("counters", &self.snapshot().values)
+            .finish()
+    }
+}
+
+/// Frozen counter values; subtract two snapshots to get per-phase deltas.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    pub values: BTreeMap<String, u64>,
+}
+
+impl Snapshot {
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Per-counter difference `self - earlier` (counters are monotonic, so
+    /// missing earlier entries count as zero).
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            values: self
+                .values
+                .iter()
+                .map(|(k, v)| (k.clone(), v - earlier.get(k)))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new("x");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(c.name(), "x");
+    }
+
+    #[test]
+    fn clones_share_value() {
+        let c = Counter::new("x");
+        let c2 = c.clone();
+        c.add(3);
+        assert_eq!(c2.get(), 3);
+    }
+
+    #[test]
+    fn registry_returns_same_counter() {
+        let reg = StatsRegistry::new();
+        reg.counter("a").add(1);
+        reg.counter("a").add(2);
+        assert_eq!(reg.get("a"), 3);
+        assert_eq!(reg.get("missing"), 0);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let reg = StatsRegistry::new();
+        reg.counter("a").add(10);
+        let s1 = reg.snapshot();
+        reg.counter("a").add(5);
+        reg.counter("b").add(7);
+        let s2 = reg.snapshot();
+        let d = s2.delta_since(&s1);
+        assert_eq!(d.get("a"), 5);
+        assert_eq!(d.get("b"), 7);
+    }
+
+    #[test]
+    fn reset_all_zeroes() {
+        let reg = StatsRegistry::new();
+        reg.counter("a").add(10);
+        reg.reset_all();
+        assert_eq!(reg.get("a"), 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Virtual time and bandwidth arithmetic.
+//!
+//! All simulated durations are kept in integer nanoseconds so that the
+//! simulation is exactly reproducible across platforms: no accumulated
+//! floating-point drift can change an event ordering between runs.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) virtual time, in nanoseconds.
+///
+/// `VTime` is used both as an instant (nanoseconds since simulation start)
+/// and as a duration; the arithmetic is identical and the simulation never
+/// needs negative time.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VTime(pub u64);
+
+impl VTime {
+    pub const ZERO: VTime = VTime(0);
+    pub const MAX: VTime = VTime(u64::MAX);
+
+    pub const fn from_nanos(ns: u64) -> Self {
+        VTime(ns)
+    }
+    pub const fn from_micros(us: u64) -> Self {
+        VTime(us * 1_000)
+    }
+    pub const fn from_millis(ms: u64) -> Self {
+        VTime(ms * 1_000_000)
+    }
+    pub const fn from_secs(s: u64) -> Self {
+        VTime(s * 1_000_000_000)
+    }
+    /// Construct from fractional seconds, rounding to the nearest nanosecond.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "negative or non-finite duration");
+        VTime((s * 1e9).round() as u64)
+    }
+
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    pub fn saturating_sub(self, rhs: VTime) -> VTime {
+        VTime(self.0.saturating_sub(rhs.0))
+    }
+
+    pub fn max(self, rhs: VTime) -> VTime {
+        VTime(self.0.max(rhs.0))
+    }
+    pub fn min(self, rhs: VTime) -> VTime {
+        VTime(self.0.min(rhs.0))
+    }
+}
+
+impl Add for VTime {
+    type Output = VTime;
+    fn add(self, rhs: VTime) -> VTime {
+        VTime(self.0.checked_add(rhs.0).expect("virtual time overflow"))
+    }
+}
+impl AddAssign for VTime {
+    fn add_assign(&mut self, rhs: VTime) {
+        *self = *self + rhs;
+    }
+}
+impl Sub for VTime {
+    type Output = VTime;
+    fn sub(self, rhs: VTime) -> VTime {
+        VTime(self.0.checked_sub(rhs.0).expect("virtual time underflow"))
+    }
+}
+impl SubAssign for VTime {
+    fn sub_assign(&mut self, rhs: VTime) {
+        *self = *self - rhs;
+    }
+}
+impl Mul<u64> for VTime {
+    type Output = VTime;
+    fn mul(self, rhs: u64) -> VTime {
+        VTime(self.0.checked_mul(rhs).expect("virtual time overflow"))
+    }
+}
+impl Div<u64> for VTime {
+    type Output = VTime;
+    fn div(self, rhs: u64) -> VTime {
+        VTime(self.0 / rhs)
+    }
+}
+impl Sum for VTime {
+    fn sum<I: Iterator<Item = VTime>>(iter: I) -> VTime {
+        iter.fold(VTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+/// A transfer rate in bytes per second.
+///
+/// Stored as `f64` for convenient construction (`Bandwidth::mib_per_sec(250.0)`)
+/// but every conversion to time goes through [`Bandwidth::time_for`], which
+/// rounds once, so timing stays deterministic.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Bandwidth {
+    bytes_per_sec: f64,
+}
+
+impl Bandwidth {
+    pub fn bytes_per_sec(b: f64) -> Self {
+        assert!(b > 0.0 && b.is_finite(), "bandwidth must be positive");
+        Bandwidth { bytes_per_sec: b }
+    }
+    /// Megabytes (10^6) per second — the unit used in the paper's Table I.
+    pub fn mb_per_sec(mb: f64) -> Self {
+        Self::bytes_per_sec(mb * 1e6)
+    }
+    pub fn gb_per_sec(gb: f64) -> Self {
+        Self::bytes_per_sec(gb * 1e9)
+    }
+    /// Gigabits per second — the unit used for network links.
+    pub fn gbit_per_sec(gbit: f64) -> Self {
+        Self::bytes_per_sec(gbit * 1e9 / 8.0)
+    }
+
+    /// Const MB/s constructor for profile tables (no validation; only use
+    /// with positive literals).
+    pub const fn const_mb(mb: f64) -> Self {
+        Bandwidth {
+            bytes_per_sec: mb * 1e6,
+        }
+    }
+
+    /// Const GB/s constructor for profile tables.
+    pub const fn const_gb(gb: f64) -> Self {
+        Bandwidth {
+            bytes_per_sec: gb * 1e9,
+        }
+    }
+
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// Time to move `bytes` at this rate.
+    pub fn time_for(self, bytes: u64) -> VTime {
+        VTime::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+
+    /// Scale the rate, e.g. to model degraded or aggregated links.
+    pub fn scaled(self, factor: f64) -> Self {
+        Self::bytes_per_sec(self.bytes_per_sec * factor)
+    }
+}
+
+/// Byte-size helpers used throughout the workspace.
+pub mod bytes {
+    pub const KIB: u64 = 1024;
+    pub const MIB: u64 = 1024 * KIB;
+    pub const GIB: u64 = 1024 * MIB;
+
+    pub fn kib(n: u64) -> u64 {
+        n * KIB
+    }
+    pub fn mib(n: u64) -> u64 {
+        n * MIB
+    }
+    pub fn gib(n: u64) -> u64 {
+        n * GIB
+    }
+
+    /// Human-readable byte count for reports.
+    pub fn human(n: u64) -> String {
+        if n >= GIB {
+            format!("{:.2}GiB", n as f64 / GIB as f64)
+        } else if n >= MIB {
+            format!("{:.2}MiB", n as f64 / MIB as f64)
+        } else if n >= KIB {
+            format!("{:.2}KiB", n as f64 / KIB as f64)
+        } else {
+            format!("{n}B")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vtime_constructors_agree() {
+        assert_eq!(VTime::from_micros(1), VTime::from_nanos(1_000));
+        assert_eq!(VTime::from_millis(1), VTime::from_micros(1_000));
+        assert_eq!(VTime::from_secs(1), VTime::from_millis(1_000));
+        assert_eq!(VTime::from_secs_f64(1.5), VTime::from_millis(1_500));
+    }
+
+    #[test]
+    fn vtime_arithmetic() {
+        let a = VTime::from_secs(2);
+        let b = VTime::from_secs(1);
+        assert_eq!(a + b, VTime::from_secs(3));
+        assert_eq!(a - b, VTime::from_secs(1));
+        assert_eq!(a * 3, VTime::from_secs(6));
+        assert_eq!(a / 2, VTime::from_secs(1));
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        assert_eq!(b.saturating_sub(a), VTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn vtime_sub_underflow_panics() {
+        let _ = VTime::from_secs(1) - VTime::from_secs(2);
+    }
+
+    #[test]
+    fn vtime_sum() {
+        let total: VTime = (1..=4).map(VTime::from_secs).sum();
+        assert_eq!(total, VTime::from_secs(10));
+    }
+
+    #[test]
+    fn vtime_display_picks_unit() {
+        assert_eq!(format!("{}", VTime::from_nanos(5)), "5ns");
+        assert_eq!(format!("{}", VTime::from_micros(5)), "5.000us");
+        assert_eq!(format!("{}", VTime::from_millis(5)), "5.000ms");
+        assert_eq!(format!("{}", VTime::from_secs(5)), "5.000s");
+    }
+
+    #[test]
+    fn bandwidth_time_for() {
+        let bw = Bandwidth::mb_per_sec(250.0);
+        // 250 MB in one second.
+        assert_eq!(bw.time_for(250_000_000), VTime::from_secs(1));
+        // 256 KiB chunk at 250 MB/s ≈ 1.049 ms.
+        let t = bw.time_for(256 * 1024);
+        assert!((t.as_millis_f64() - 1.048576).abs() < 1e-6, "{t}");
+    }
+
+    #[test]
+    fn bandwidth_units() {
+        assert_eq!(
+            Bandwidth::gbit_per_sec(2.0).time_for(250_000_000),
+            VTime::from_secs(1)
+        );
+        assert_eq!(
+            Bandwidth::gb_per_sec(1.0).time_for(500_000_000),
+            VTime::from_millis(500)
+        );
+    }
+
+    #[test]
+    fn bandwidth_scaled() {
+        let bw = Bandwidth::mb_per_sec(100.0).scaled(0.5);
+        assert_eq!(bw.time_for(50_000_000), VTime::from_secs(1));
+    }
+
+    #[test]
+    fn byte_helpers() {
+        assert_eq!(bytes::mib(2), 2 * 1024 * 1024);
+        assert_eq!(bytes::human(512), "512B");
+        assert_eq!(bytes::human(bytes::kib(2)), "2.00KiB");
+        assert_eq!(bytes::human(bytes::gib(3)), "3.00GiB");
+    }
+}

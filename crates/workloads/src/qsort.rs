@@ -1,0 +1,383 @@
+//! Parallel sorting (§IV-B-3, Table VI): a 200 GB list sorted under three
+//! configurations —
+//!
+//! * `DRAM(8:16:0)`  — the dataset exceeds total DRAM, so the original
+//!   program is split into **two passes** whose interim sorted runs are
+//!   exchanged through the PFS;
+//! * `L-SSD(8:16:16)` — hybrid: half the data in DRAM, half in NVMalloc
+//!   variables on local SSDs, single pass;
+//! * `R-SSD(8:8:8)`  — hybrid on half the nodes: a quarter in DRAM, the
+//!   rest on remote SSDs, single pass.
+//!
+//! The parallel algorithm is a textbook sample sort (the recursive
+//! partitioning of quicksort, distributed): local sort → splitter
+//! selection → all-to-all exchange → local merge. The NVM-resident part
+//! is sorted out-of-core (run formation + merge), which is exactly the
+//! access pattern NVMalloc's chunk cache is built for.
+
+use cluster::{run_job, Calibration, Cluster, JobConfig, JobEnv};
+use nvmalloc::NvmVec;
+use rand::Rng;
+use simcore::{ProcCtx, VTime};
+
+/// Sorting-cost constant: charged flops per element·log2(element) of
+/// comparison sorting (comparisons + moves).
+const SORT_OPS_PER_ELEM_LOG: f64 = 4.0;
+
+/// Problem description.
+#[derive(Clone, Copy, Debug)]
+pub struct SortConfig {
+    /// Total list length (u64 elements) across all ranks.
+    pub total_elems: usize,
+    /// Fraction of the dataset resident in DRAM, as (numerator, denom):
+    /// the paper's L-SSD case is (1,2) — 100 GB of 200 GB — and the
+    /// R-SSD case is (1,4).
+    pub dram_part: (usize, usize),
+    /// Out-of-core run-formation window (elements per rank).
+    pub window_elems: usize,
+    pub seed: u64,
+    pub verify: bool,
+}
+
+impl SortConfig {
+    pub fn new(total_elems: usize) -> Self {
+        SortConfig {
+            total_elems,
+            dram_part: (1, 2),
+            window_elems: 64 * 1024,
+            seed: 7,
+            verify: true,
+        }
+    }
+
+    pub fn dram_elems(&self) -> usize {
+        self.total_elems * self.dram_part.0 / self.dram_part.1
+    }
+}
+
+/// Outcome of a sort run.
+#[derive(Clone, Debug)]
+pub struct SortReport {
+    pub label: String,
+    pub time: VTime,
+    /// Number of passes over the dataset the configuration required
+    /// (Table VI's "Pass (#)" row).
+    pub passes: u32,
+    pub verified: bool,
+}
+
+fn charge_sort(ctx: &mut ProcCtx, env: &JobEnv, elems: usize) {
+    if elems > 1 {
+        env.compute(
+            ctx,
+            SORT_OPS_PER_ELEM_LOG * elems as f64 * (elems as f64).log2(),
+        );
+    }
+}
+
+fn gen_data(seed: u64, rank: usize, elems: usize) -> Vec<u64> {
+    let mut rng = simcore::rng::stream_rng(seed, rank as u64);
+    (0..elems).map(|_| rng.gen::<u64>()).collect()
+}
+
+/// Derive `p-1` global splitters from regular samples of every rank's
+/// sorted local data (gather at root, broadcast back).
+fn compute_splitters(
+    ctx: &mut ProcCtx,
+    env: &JobEnv,
+    sorted: &[u64],
+    oversample: usize,
+) -> Vec<u64> {
+    let p = env.size;
+    let rank = env.rank;
+    let samples: Vec<u64> = (0..oversample)
+        .map(|i| {
+            let idx = (i + 1) * sorted.len() / (oversample + 1);
+            sorted[idx.min(sorted.len().saturating_sub(1))]
+        })
+        .collect();
+    let all_samples = env.comm.gather(ctx, rank, 0, samples);
+    env.comm.bcast(
+        ctx,
+        rank,
+        0,
+        all_samples.map(|s| {
+            let mut flat: Vec<u64> = s.into_iter().flatten().collect();
+            flat.sort_unstable();
+            (1..p)
+                .map(|i| flat[i * flat.len() / p])
+                .collect::<Vec<u64>>()
+        }),
+    )
+}
+
+/// Partition sorted local data by `splitters` and redistribute; returns
+/// this rank's merged partition. Charges the all-to-all + merge.
+fn exchange_with_splitters(
+    ctx: &mut ProcCtx,
+    env: &JobEnv,
+    sorted: Vec<u64>,
+    splitters: &[u64],
+) -> Vec<u64> {
+    let p = env.size;
+    debug_assert_eq!(splitters.len(), p - 1);
+    let mut buckets: Vec<Vec<u64>> = Vec::with_capacity(p);
+    let mut start = 0usize;
+    for s in splitters {
+        let end = start + sorted[start..].partition_point(|x| x <= s);
+        buckets.push(sorted[start..end].to_vec());
+        start = end;
+    }
+    buckets.push(sorted[start..].to_vec());
+
+    let received = env.comm.all_to_all(ctx, env.rank, buckets);
+    // p-way merge of sorted runs: charge m·log2(p).
+    let total: usize = received.iter().map(Vec::len).sum();
+    if total > 0 {
+        env.compute(ctx, SORT_OPS_PER_ELEM_LOG * total as f64 * (p as f64).log2());
+    }
+    let mut merged: Vec<u64> = received.into_iter().flatten().collect();
+    merged.sort_unstable(); // host-side; virtual cost charged above
+    merged
+}
+
+/// Sample-sort exchange with fresh splitters.
+fn exchange_sorted(
+    ctx: &mut ProcCtx,
+    env: &JobEnv,
+    sorted: Vec<u64>,
+    oversample: usize,
+) -> Vec<u64> {
+    if env.size == 1 {
+        return sorted;
+    }
+    let splitters = compute_splitters(ctx, env, &sorted, oversample);
+    exchange_with_splitters(ctx, env, sorted, &splitters)
+}
+
+fn verify_global(ctx: &mut ProcCtx, env: &JobEnv, part: &[u64], checksum: u64) -> bool {
+    let sorted_locally = part.windows(2).all(|w| w[0] <= w[1]);
+    let lo = part.first().copied().unwrap_or(u64::MIN);
+    let hi = part.last().copied().unwrap_or(u64::MAX);
+    let my_sum: u64 = part
+        .iter()
+        .fold(0u64, |acc, &x| acc.wrapping_add(x))
+        .wrapping_sub(checksum);
+    // Gather (lo, hi, len, sum-delta) at root and check the global order.
+    let stats = env
+        .comm
+        .gather(ctx, rank_of(env), 0, vec![lo, hi, part.len() as u64, my_sum]);
+    let ok_root = stats.map(|rows| {
+        let mut ok = true;
+        let mut prev_hi = 0u64;
+        let mut first = true;
+        let mut sum_delta = 0u64;
+        for row in &rows {
+            let (lo, hi, len, d) = (row[0], row[1], row[2], row[3]);
+            if len > 0 {
+                if !first && lo < prev_hi {
+                    ok = false;
+                }
+                prev_hi = hi;
+                first = false;
+            }
+            sum_delta = sum_delta.wrapping_add(d);
+        }
+        ok && sum_delta == 0
+    });
+    let ok_global = env.comm.bcast(ctx, rank_of(env), 0, ok_root.map(|b| vec![b as u64]));
+    sorted_locally && ok_global[0] == 1
+}
+
+fn rank_of(env: &JobEnv) -> usize {
+    env.rank
+}
+
+/// Hybrid DRAM+NVM sort (the L-SSD / R-SSD rows of Table VI).
+pub fn run_sort_hybrid(cluster: &Cluster, cfg: &JobConfig, scfg: &SortConfig) -> SortReport {
+    let p = cfg.ranks();
+    assert_eq!(scfg.total_elems % p, 0, "list must divide across ranks");
+    let result = run_job(cluster, cfg, Calibration::default(), |ctx, env| {
+        let my_total = scfg.total_elems / p;
+        let my_dram = scfg.dram_elems() / p;
+        let my_nvm = my_total - my_dram;
+
+        // ---- Load from the PFS ------------------------------------------
+        env.pfs_read(ctx, (my_total * 8) as u64);
+        let data = gen_data(scfg.seed, env.rank, my_total);
+        let checksum = data.iter().fold(0u64, |a, &x| a.wrapping_add(x));
+        env.reserve_dram((my_dram * 8) as u64).expect("DRAM part fits");
+        let mut dram_part = data[..my_dram].to_vec();
+        let nvm_var: Option<NvmVec<u64>> = if my_nvm > 0 {
+            let v = env.client.ssdmalloc::<u64>(ctx, my_nvm).expect("ssdmalloc");
+            v.write_slice(ctx, 0, &data[my_dram..]).expect("load NVM part");
+            v.flush(ctx).expect("flush");
+            Some(v)
+        } else {
+            None
+        };
+        drop(data);
+        env.comm.barrier(ctx, env.rank);
+        let t0 = ctx.now();
+
+        // ---- Local sort ---------------------------------------------------
+        charge_sort(ctx, env, my_dram);
+        env.dram_io(ctx, (my_dram * 8 * 2) as u64);
+        dram_part.sort_unstable();
+
+        // Out-of-core sort of the NVM part: run formation + merge.
+        let mut nvm_sorted: Vec<u64> = Vec::with_capacity(my_nvm);
+        if let Some(v) = &nvm_var {
+            let w = scfg.window_elems.min(my_nvm).max(1);
+            let mut buf = vec![0u64; w];
+            // Run formation: read a window, sort it, write it back.
+            let mut off = 0;
+            while off < my_nvm {
+                let len = w.min(my_nvm - off);
+                v.read_slice(ctx, off, &mut buf[..len]).expect("run read");
+                charge_sort(ctx, env, len);
+                buf[..len].sort_unstable();
+                v.write_slice(ctx, off, &buf[..len]).expect("run write");
+                off += len;
+            }
+            // Merge pass: stream every run back and k-way merge.
+            let runs = my_nvm.div_ceil(w);
+            let mut all = vec![0u64; my_nvm];
+            v.read_slice(ctx, 0, &mut all).expect("merge read");
+            env.compute(
+                ctx,
+                SORT_OPS_PER_ELEM_LOG * my_nvm as f64 * (runs.max(2) as f64).log2(),
+            );
+            all.sort_unstable();
+            v.write_slice(ctx, 0, &all).expect("merge write");
+            v.flush(ctx).expect("flush sorted");
+            nvm_sorted = all;
+        }
+
+        // Merge DRAM and NVM parts into one locally sorted sequence.
+        env.compute(ctx, SORT_OPS_PER_ELEM_LOG * my_total as f64);
+        let mut local: Vec<u64> = Vec::with_capacity(my_total);
+        local.extend_from_slice(&dram_part);
+        local.extend_from_slice(&nvm_sorted);
+        local.sort_unstable();
+        drop(nvm_sorted);
+        drop(dram_part);
+
+        // ---- Global exchange ---------------------------------------------
+        let part = exchange_sorted(ctx, env, local, 4 * p);
+
+        // Store the result back in the same DRAM/NVM split.
+        let keep_dram = part.len().min(my_dram);
+        if part.len() > keep_dram {
+            if let Some(v) = &nvm_var {
+                let spill = (part.len() - keep_dram).min(v.len());
+                v.write_slice(ctx, 0, &part[keep_dram..keep_dram + spill])
+                    .expect("store sorted");
+                v.flush(ctx).expect("flush");
+            }
+        }
+        env.comm.barrier(ctx, env.rank);
+        let elapsed = ctx.now() - t0;
+
+        let ok = if scfg.verify {
+            verify_global(ctx, env, &part, checksum)
+        } else {
+            true
+        };
+
+        if let Some(v) = nvm_var {
+            env.client.ssdfree(ctx, v).expect("free");
+        }
+        env.release_dram((my_dram * 8) as u64);
+        (elapsed, ok)
+    });
+
+    let time = result.outputs.iter().map(|(t, _)| *t).max().expect("ranks");
+    SortReport {
+        label: cfg.label(),
+        time,
+        passes: 1,
+        verified: result.outputs.iter().all(|(_, ok)| *ok),
+    }
+}
+
+/// The DRAM-only two-pass baseline: sort each half separately (interim
+/// results staged on the PFS), then merge the halves through the PFS.
+pub fn run_sort_dram_two_pass(
+    cluster: &Cluster,
+    cfg: &JobConfig,
+    scfg: &SortConfig,
+) -> SortReport {
+    let p = cfg.ranks();
+    assert_eq!(scfg.total_elems % (2 * p), 0);
+    let result = run_job(cluster, cfg, Calibration::default(), |ctx, env| {
+        let my_total = scfg.total_elems / p;
+        let my_half = my_total / 2;
+        env.reserve_dram((my_half * 8) as u64).expect("half fits");
+
+        let data = gen_data(scfg.seed, env.rank, my_total);
+        let checksum = data.iter().fold(0u64, |a, &x| a.wrapping_add(x));
+        env.comm.barrier(ctx, env.rank);
+        let t0 = ctx.now();
+
+        // Pass 1 and 2: load a half from the PFS, sort, exchange, write
+        // the sorted half back to the PFS. Both passes partition by the
+        // SAME splitters so the per-rank key ranges line up and the final
+        // merge is a local streaming operation.
+        let mut halves: Vec<Vec<u64>> = Vec::with_capacity(2);
+        let mut splitters: Option<Vec<u64>> = None;
+        for h in 0..2 {
+            env.pfs_read(ctx, (my_half * 8) as u64);
+            let mut part = data[h * my_half..(h + 1) * my_half].to_vec();
+            charge_sort(ctx, env, my_half);
+            env.dram_io(ctx, (my_half * 8 * 2) as u64);
+            part.sort_unstable();
+            let sorted = if p == 1 {
+                part
+            } else {
+                let sp = match &splitters {
+                    Some(sp) => sp.clone(),
+                    None => {
+                        let sp = compute_splitters(ctx, env, &part, 4 * p);
+                        splitters = Some(sp.clone());
+                        sp
+                    }
+                };
+                exchange_with_splitters(ctx, env, part, &sp)
+            };
+            env.pfs_write(ctx, (sorted.len() * 8) as u64);
+            halves.push(sorted);
+        }
+
+        // Merge pass: stream both sorted halves back from the PFS, merge,
+        // and write the final output.
+        env.pfs_read(ctx, ((halves[0].len() + halves[1].len()) * 8) as u64);
+        env.compute(
+            ctx,
+            SORT_OPS_PER_ELEM_LOG * (halves[0].len() + halves[1].len()) as f64,
+        );
+        let mut merged: Vec<u64> = Vec::with_capacity(halves[0].len() + halves[1].len());
+        merged.extend_from_slice(&halves[0]);
+        merged.extend_from_slice(&halves[1]);
+        merged.sort_unstable();
+        env.pfs_write(ctx, (merged.len() * 8) as u64);
+        env.comm.barrier(ctx, env.rank);
+        let elapsed = ctx.now() - t0;
+
+        let ok = if scfg.verify {
+            verify_global(ctx, env, &merged, checksum)
+        } else {
+            true
+        };
+        env.release_dram((my_half * 8) as u64);
+        (elapsed, ok)
+    });
+
+    let time = result.outputs.iter().map(|(t, _)| *t).max().expect("ranks");
+    SortReport {
+        label: cfg.label(),
+        time,
+        passes: 2,
+        verified: result.outputs.iter().all(|(_, ok)| *ok),
+    }
+}

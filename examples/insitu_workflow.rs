@@ -1,0 +1,75 @@
+//! Workflow / in-situ data sharing (§III-C): "One can imagine associating
+//! a lifetime with these memory-mapped variables … Such a scheme can aid
+//! data sharing between a workflow of jobs or a simulation and its
+//! in-situ analysis."
+//!
+//! A simulation job produces a field into a named NVM variable and exits;
+//! a separate analysis job, launched later on the same cluster, opens the
+//! variable by name and consumes it — no PFS round-trip.
+//!
+//! ```text
+//! cargo run --example insitu_workflow
+//! ```
+
+use cluster::{run_job, Calibration, Cluster, ClusterSpec, JobConfig};
+use nvmalloc::NvmVec;
+
+const FIELD: usize = 100_000;
+
+fn main() {
+    let cfg = JobConfig::local(2, 2, 2);
+    let cluster = Cluster::new(ClusterSpec::hal().scaled(256), &cfg.benefactor_nodes());
+
+    // --- Job 1: the simulation -------------------------------------------
+    let sim = run_job(&cluster, &cfg, Calibration::default(), |ctx, env| {
+        let field: NvmVec<f64> = env
+            .client
+            .ssdmalloc_shared(ctx, "workflow.field", FIELD)
+            .expect("produce");
+        let my = FIELD / env.size;
+        let base = env.rank * my;
+        let values: Vec<f64> = (0..my).map(|i| ((base + i) as f64).sqrt()).collect();
+        field.write_slice(ctx, base, &values).expect("write");
+        field.flush(ctx).expect("flush");
+        env.comm.barrier(ctx, env.rank);
+        ctx.now()
+    });
+    println!(
+        "simulation finished at {} — field persists on the NVM store ({})",
+        sim.makespan(),
+        simcore::bytes::human(cluster.store.manager().physical_bytes()),
+    );
+
+    // --- Job 2: the analysis, a separate job on the same machine ---------
+    let analysis_cfg = JobConfig::local(4, 2, 2);
+    let analysis = run_job(&cluster, &analysis_cfg, Calibration::default(), |ctx, env| {
+        // No ssdmalloc: open the producer's variable by name.
+        let field: NvmVec<f64> = env
+            .client
+            .open_var(ctx, "workflow.field")
+            .expect("the simulation's output is still there");
+        assert_eq!(field.len(), FIELD);
+        let my = FIELD / env.size;
+        let mut window = vec![0f64; my];
+        field.read_slice(ctx, env.rank * my, &mut window).expect("read");
+        let local_sum: f64 = window.iter().sum();
+        env.compute(ctx, my as f64);
+        let sums = env.comm.gather(ctx, env.rank, 0, vec![local_sum]);
+        if env.rank == 0 {
+            let total: f64 = sums.unwrap().into_iter().flatten().sum();
+            println!("analysis: Σ sqrt(i) over {FIELD} elements = {total:.2}");
+            let expect: f64 = (0..FIELD).map(|i| (i as f64).sqrt()).sum();
+            assert!((total - expect).abs() < 1e-6 * expect.abs());
+        }
+        // The analysis job cleans up when done.
+        env.comm.barrier(ctx, env.rank);
+        if env.rank == 0 {
+            env.client.unlink_shared(ctx, "workflow.field").expect("cleanup");
+        }
+    });
+    println!(
+        "analysis finished at {} — store now holds {}",
+        analysis.makespan(),
+        simcore::bytes::human(cluster.store.manager().physical_bytes()),
+    );
+}

@@ -1,0 +1,61 @@
+//! Quickstart: allocate a variable from the aggregate NVM store, use it
+//! like memory, checkpoint it, and read the frozen image back.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cluster::{run_job, Calibration, Cluster, ClusterSpec, JobConfig};
+use nvmalloc::NvmVec;
+
+fn main() {
+    // A small slice of the paper's HAL cluster (Table II), capacities
+    // scaled 1/256 so everything is laptop-sized: 2 compute nodes whose
+    // local SSDs form the aggregate store.
+    let cfg = JobConfig::local(2, 2, 2);
+    let cluster = Cluster::new(ClusterSpec::hal().scaled(256), &cfg.benefactor_nodes());
+    println!("{}\n", cluster.spec.table2());
+
+    let result = run_job(&cluster, &cfg, Calibration::default(), |ctx, env| {
+        // ssdmalloc: a million f64s backed by striped 256 KiB chunks on
+        // the node-local SSDs — used exactly like memory.
+        let v: NvmVec<f64> = env.client.ssdmalloc(ctx, 1_000_000).expect("ssdmalloc");
+        v.set(ctx, 0, 3.25).expect("write");
+        v.write_slice(ctx, 500_000, &[1.0, 2.0, 3.0]).expect("write slice");
+
+        let x = v.get(ctx, 0).expect("read");
+        assert_eq!(x, 3.25);
+        assert_eq!(v.get(ctx, 500_001).expect("read"), 2.0);
+        assert_eq!(v.get(ctx, 999_999).expect("read"), 0.0, "unwritten NVM reads as zero");
+
+        // ssdcheckpoint: snapshot DRAM state + the variable into one
+        // logical restart file. The variable's chunks are *linked*, not
+        // copied — then protected by copy-on-write.
+        let dram_state = vec![7u8; 4096];
+        let ckpt = env
+            .client
+            .ssdcheckpoint(ctx, "quickstart", &dram_state, &[&v])
+            .expect("checkpoint");
+
+        // Mutate after the checkpoint…
+        v.set(ctx, 0, -1.0).expect("write");
+        v.flush(ctx).expect("flush");
+
+        // …the frozen image is unaffected.
+        let frozen: NvmVec<f64> = env.client.restore_var(ctx, &ckpt, 0).expect("restore");
+        assert_eq!(frozen.get(ctx, 0).expect("read"), 3.25);
+        assert_eq!(env.client.restore_dram(ctx, &ckpt).expect("restore"), dram_state);
+
+        env.comm.barrier(ctx, env.rank);
+        (env.rank, ctx.now())
+    });
+
+    for (rank, t) in &result.outputs {
+        println!("rank {rank} finished at virtual time {t}");
+    }
+    println!(
+        "\njob makespan: {} virtual, SSD bytes written: {}",
+        result.makespan(),
+        simcore::bytes::human(cluster.total_ssd_bytes_written())
+    );
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate: re-exports the NVMalloc reproduction stack for the
+//! examples and integration tests that live at the workspace root.
+pub use chunkstore;
+pub use cluster;
+pub use devices;
+pub use fusemm;
+pub use netsim;
+pub use nvmalloc;
+pub use simcore;
+pub use workloads;

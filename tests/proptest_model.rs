@@ -1,0 +1,182 @@
+//! Property-based model checking: the NVM stack must behave exactly like
+//! plain memory under arbitrary operation sequences, and the paper's
+//! volume invariants must hold for any workload shape.
+
+use cluster::{run_job, Calibration, Cluster, ClusterSpec, JobConfig};
+use fusemm::FuseConfig;
+use nvmalloc::NvmVec;
+use proptest::prelude::*;
+
+const LEN: usize = 200_000; // elements per variable under test
+
+#[derive(Clone, Debug)]
+enum Op {
+    Write { start: usize, data: Vec<u8> },
+    Read { start: usize, len: usize },
+    Flush,
+    Checkpoint,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0usize..LEN, proptest::collection::vec(any::<u8>(), 1..5000)).prop_map(
+            |(start, data)| {
+                let start = start.min(LEN - 1);
+                let max = LEN - start;
+                let mut data = data;
+                data.truncate(max);
+                Op::Write { start, data }
+            }
+        ),
+        4 => (0usize..LEN, 1usize..5000).prop_map(|(start, len)| {
+            let start = start.min(LEN - 1);
+            Op::Read { start, len: len.min(LEN - start) }
+        }),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Checkpoint),
+    ]
+}
+
+fn tiny_cluster() -> (Cluster, JobConfig) {
+    let cfg = JobConfig::local(1, 2, 2);
+    let cluster = Cluster::with_fuse(
+        ClusterSpec::hal().scaled(256),
+        &cfg.benefactor_nodes(),
+        FuseConfig {
+            cache_bytes: 768 * 1024, // 3 chunks: forces plenty of eviction
+            ..FuseConfig::default()
+        },
+    );
+    (cluster, cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, ..ProptestConfig::default()
+    })]
+
+    /// Under any interleaving of writes, reads, flushes and checkpoints,
+    /// an `NvmVec<u8>` is indistinguishable from a plain `Vec<u8>`, and
+    /// every checkpoint freezes the model state at its moment.
+    #[test]
+    fn nvmvec_matches_vec_model(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let (cluster, cfg) = tiny_cluster();
+        let ops2 = ops.clone();
+        let result = run_job(&cluster, &cfg, Calibration::default(), move |ctx, env| {
+            if env.rank != 0 {
+                return true;
+            }
+            let v: NvmVec<u8> = env.client.ssdmalloc(ctx, LEN).expect("alloc");
+            let mut model = vec![0u8; LEN];
+            let mut frozen: Vec<(nvmalloc::Checkpoint, Vec<u8>)> = Vec::new();
+
+            for op in &ops2 {
+                match op {
+                    Op::Write { start, data } => {
+                        v.write_slice(ctx, *start, data).expect("write");
+                        model[*start..*start + data.len()].copy_from_slice(data);
+                    }
+                    Op::Read { start, len } => {
+                        let mut out = vec![0u8; *len];
+                        v.read_slice(ctx, *start, &mut out).expect("read");
+                        assert_eq!(out, model[*start..*start + *len], "read mismatch");
+                    }
+                    Op::Flush => v.flush(ctx).expect("flush"),
+                    Op::Checkpoint => {
+                        let ck = env
+                            .client
+                            .ssdcheckpoint(ctx, "prop", &[], &[&v])
+                            .expect("ckpt");
+                        frozen.push((ck, model.clone()));
+                    }
+                }
+            }
+
+            // Every checkpoint still shows the state at its timestep.
+            for (ck, expect) in &frozen {
+                let r: NvmVec<u8> = env.client.restore_var(ctx, ck, 0).expect("restore");
+                let mut out = vec![0u8; LEN];
+                r.read_slice(ctx, 0, &mut out).expect("read restored");
+                assert_eq!(&out, expect, "checkpoint {} drifted", ck.timestep);
+            }
+            true
+        });
+        prop_assert!(result.outputs.iter().all(|ok| *ok));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16, ..ProptestConfig::default()
+    })]
+
+    /// Volume invariants (the accounting behind Tables IV and VII): SSD
+    /// write volume never exceeds page-rounded FUSE write traffic with
+    /// the dirty-page optimization on, and data written then flushed is
+    /// fully accounted on the devices.
+    #[test]
+    fn write_volume_invariants(
+        writes in proptest::collection::vec((0usize..LEN, 1usize..2000), 1..30)
+    ) {
+        let (cluster, cfg) = tiny_cluster();
+        let stats = cluster.stats.clone();
+        let writes2 = writes.clone();
+        run_job(&cluster, &cfg, Calibration::default(), move |ctx, env| {
+            if env.rank != 0 {
+                return;
+            }
+            let v: NvmVec<u8> = env.client.ssdmalloc(ctx, LEN).expect("alloc");
+            for (start, len) in &writes2 {
+                let start = (*start).min(LEN - 1);
+                let len = (*len).min(LEN - start);
+                v.write_slice(ctx, start, &vec![7u8; len]).expect("write");
+            }
+            v.flush(ctx).expect("flush");
+        });
+        let to_fuse = stats.get("fuse.write_req_bytes");
+        let to_ssd = stats.get("store.bytes_from_clients");
+        prop_assert!(to_ssd <= to_fuse,
+            "dirty-page write-back can never send more than arrived: {to_ssd} > {to_fuse}");
+        prop_assert!(to_ssd > 0);
+        // The device saw at least the dirty bytes (page-rounded).
+        prop_assert!(cluster.total_ssd_bytes_written() >= to_ssd);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, ..ProptestConfig::default()
+    })]
+
+    /// Strided reads agree with an equivalent sequence of slice reads.
+    #[test]
+    fn strided_read_matches_runs(
+        seed in 0u64..1000,
+        run_elems in 1usize..64,
+        count in 1usize..32,
+    ) {
+        let stride = run_elems + (seed as usize % 100);
+        let needed = stride * (count - 1) + run_elems;
+        prop_assume!(needed <= LEN);
+        let (cluster, cfg) = tiny_cluster();
+        let result = run_job(&cluster, &cfg, Calibration::default(), move |ctx, env| {
+            if env.rank != 0 {
+                return true;
+            }
+            let v: NvmVec<u8> = env.client.ssdmalloc(ctx, LEN).expect("alloc");
+            let data: Vec<u8> = (0..needed).map(|i| (i as u64 * seed % 251) as u8).collect();
+            v.write_slice(ctx, 0, &data).expect("write");
+
+            let mut strided = vec![0u8; run_elems * count];
+            v.read_strided(ctx, 0, run_elems, stride, count, &mut strided)
+                .expect("strided");
+            for r in 0..count {
+                let mut direct = vec![0u8; run_elems];
+                v.read_slice(ctx, r * stride, &mut direct).expect("read");
+                assert_eq!(direct, strided[r * run_elems..(r + 1) * run_elems]);
+            }
+            true
+        });
+        prop_assert!(result.outputs.iter().all(|ok| *ok));
+    }
+}
