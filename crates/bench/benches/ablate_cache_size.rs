@@ -11,17 +11,16 @@ use fusemm::FuseConfig;
 use workloads::matmul::{run_mm, AccessOrder, MmConfig};
 
 fn main() {
-    header("Ablation: FUSE cache size vs MM computing time", "§III-D design choice");
+    header(
+        "Ablation: FUSE cache size vs MM computing time",
+        "§III-D design choice",
+    );
     // Column-major access on the adapted 8-rank configuration (Table V's
     // setup): the pattern whose chunk re-fetches the cache exists to
     // absorb. Row-major streams are nearly cache-size-insensitive because
     // the node's processes share one sequential sweep.
     let cfg = JobConfig::local(8, 1, 1);
-    let t = Table::new(&[
-        ("Cache", 8),
-        ("Computing s", 12),
-        ("SSD GiB", 9),
-    ]);
+    let t = Table::new(&[("Cache", 8), ("Computing s", 12), ("SSD GiB", 9)]);
     let mut times = Vec::new();
     for cache_kib in [512u64, 1024, 2048, 4096, 8192, 16384] {
         let cluster = Cluster::with_fuse(
@@ -41,9 +40,13 @@ fn main() {
         t.row(&[
             format!("{}K", cache_kib),
             format!("{:.3}", r.stages.computing.as_secs_f64()),
-            format!("{:.2}", r.traffic.ssd_req_bytes as f64 / (1u64 << 30) as f64),
+            format!(
+                "{:.2}",
+                r.traffic.ssd_req_bytes as f64 / (1u64 << 30) as f64
+            ),
         ]);
         times.push(r.stages.computing.as_secs_f64());
+        bench::store_health(&format!("cache {}K", cache_kib), &cluster);
     }
     println!();
     check(

@@ -6,18 +6,17 @@
 
 use bench::{check, header, Table, SCALE};
 use chunkstore::StoreConfig;
-use fusemm::FuseConfig;
 use cluster::{Calibration, Cluster, ClusterSpec, JobConfig};
+use fusemm::FuseConfig;
 use workloads::randwrite::{run_randwrite, RandWriteConfig};
 use workloads::stream::{run_stream, ArrayPlace, StreamConfig, StreamKernel};
 
 fn main() {
-    header("Ablation: chunk size", "§III-D design choice (256 KiB default)");
-    let t = Table::new(&[
-        ("Chunk", 8),
-        ("TRIAD MB/s", 11),
-        ("randwrite SSD MiB", 18),
-    ]);
+    header(
+        "Ablation: chunk size",
+        "§III-D design choice (256 KiB default)",
+    );
+    let t = Table::new(&[("Chunk", 8), ("TRIAD MB/s", 11), ("randwrite SSD MiB", 18)]);
     let mut seq_bw = Vec::new();
     let mut rw_vol = Vec::new();
     for chunk_kib in [64u64, 128, 256, 512, 1024] {
@@ -44,9 +43,15 @@ fn main() {
         // 4 GB (scaled) array: larger than any swept cache, so no chunk
         // size can make the whole array resident across iterations.
         let elems = ((4u64 << 30) / SCALE / 8) as usize;
-        let scfg = StreamConfig::new(elems)
-            .place(ArrayPlace::Dram, ArrayPlace::Dram, ArrayPlace::Nvm);
-        let s = run_stream(&cluster, &cfg, Calibration::default(), &scfg, StreamKernel::Triad);
+        let scfg =
+            StreamConfig::new(elems).place(ArrayPlace::Dram, ArrayPlace::Dram, ArrayPlace::Nvm);
+        let s = run_stream(
+            &cluster,
+            &cfg,
+            Calibration::default(),
+            &scfg,
+            StreamKernel::Triad,
+        );
 
         // Random writes, optimization ON (page write-back), same region.
         let rw_cfg = JobConfig::local(1, 1, 1);
@@ -73,6 +78,8 @@ fn main() {
         ]);
         seq_bw.push(s.bandwidth_mb_s);
         rw_vol.push(r.data_to_ssd);
+        bench::store_health(&format!("chunk {}K seq", chunk_kib), &cluster);
+        bench::store_health(&format!("chunk {}K rw", chunk_kib), &rw_cluster);
         assert!(s.verified && r.verified);
     }
     println!();
@@ -82,7 +89,6 @@ fn main() {
     );
     check(
         "random-write SSD volume is flat with page write-back (the optimization decouples it)",
-        rw_vol.iter().max().unwrap() - rw_vol.iter().min().unwrap()
-            < rw_vol[0] / 2,
+        rw_vol.iter().max().unwrap() - rw_vol.iter().min().unwrap() < rw_vol[0] / 2,
     );
 }

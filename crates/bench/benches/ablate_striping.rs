@@ -11,7 +11,10 @@ use cluster::{run_job, Calibration, Cluster, ClusterSpec, JobConfig};
 use nvmalloc::AllocOptions;
 
 fn main() {
-    header("Ablation: striping policy (round-robin vs random)", "§II manager design");
+    header(
+        "Ablation: striping policy (round-robin vs random)",
+        "§II manager design",
+    );
     let cfg = JobConfig::local(8, 16, 16);
     let t = Table::new(&[
         ("Policy", 14),
@@ -33,7 +36,7 @@ fn main() {
         // Every rank writes a 4 MiB variable striped with `policy`.
         let result = run_job(&cluster, &cfg, Calibration::default(), |ctx, env| {
             let opts = AllocOptions {
-                stripe: StripeSpec::All,
+                stripe: StripeSpec::all(),
                 placement: policy,
             };
             let v = env
@@ -47,11 +50,7 @@ fn main() {
             env.comm.barrier(ctx, env.rank);
             (ctx.now() - t0).as_secs_f64()
         });
-        let time = result
-            .outputs
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max);
+        let time = result.outputs.iter().cloned().fold(0.0f64, f64::max);
         let (max_busy, mean_busy) = {
             let mgr = cluster.store.manager();
             let busy: Vec<f64> = (0..mgr.benefactor_count())
@@ -76,6 +75,7 @@ fn main() {
         ]);
         times.push(time);
         skews.push(max_busy / mean_busy);
+        bench::store_health(name, &cluster);
     }
     println!();
     check(

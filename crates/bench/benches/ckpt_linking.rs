@@ -53,7 +53,12 @@ fn main() {
             .unwrap();
         let linked_time = (ctx.now() - t0).as_secs_f64();
         let linked_extra = store.manager().physical_bytes() - physical_before;
-        out.push(("linked ckpt #1".into(), linked_time, linked_extra, dram_bytes));
+        out.push((
+            "linked ckpt #1".into(),
+            linked_time,
+            linked_extra,
+            dram_bytes,
+        ));
 
         // (b) Naive full copy (what linking avoids): stream the variable
         // into a fresh file.
@@ -79,7 +84,12 @@ fn main() {
             .unwrap();
         let incr_time = (ctx.now() - t0).as_secs_f64();
         let incr_extra = store.manager().physical_bytes() - physical_mid;
-        out.push(("incremental ckpt #2".into(), incr_time, incr_extra, dram_bytes));
+        out.push((
+            "incremental ckpt #2".into(),
+            incr_time,
+            incr_extra,
+            dram_bytes,
+        ));
 
         // Restores still see the frozen images.
         let r1 = env.client.restore_var::<u8>(ctx, &ck1, 0).unwrap();
@@ -98,14 +108,10 @@ fn main() {
         ("DRAM img (MiB)", 15),
     ]);
     for (name, time, extra, dram) in rows.iter().take(3) {
-        t.row(&[
-            name.clone(),
-            format!("{time:.3}"),
-            mib(*extra),
-            mib(*dram),
-        ]);
+        t.row(&[name.clone(), format!("{time:.3}"), mib(*extra), mib(*dram)]);
     }
     println!();
+    bench::store_health("ckpt", &cluster);
     let linked = &rows[0];
     let copy = &rows[1];
     let incr = &rows[2];
@@ -115,12 +121,18 @@ fn main() {
         "linking adds zero NVM bytes for the variable (only the DRAM image)",
         linked.2 == linked.3.div_ceil(chunk) * chunk,
     );
-    check("linked checkpoint is much faster than a full copy", linked.1 * 3.0 < copy.1);
+    check(
+        "linked checkpoint is much faster than a full copy",
+        linked.1 * 3.0 < copy.1,
+    );
     check(
         "incremental checkpoint adds no new chunks beyond the DRAM image",
         incr.2 <= linked.2,
     );
-    check("copy-on-write keeps the frozen image intact", rows[3].1 == 1.0);
+    check(
+        "copy-on-write keeps the frozen image intact",
+        rows[3].1 == 1.0,
+    );
     let vt = VTime::ZERO;
     let _ = vt;
 }

@@ -5,9 +5,9 @@
 //! and remote SSDs. Y-axis normalized to DRAM-only = 100, as in the
 //! paper (which reports local ≈ 62× and remote ≈ 115× slower overall).
 
-use bench::{check, header, hal_cluster, stream_fuse, Table, SCALE};
-use cluster::{Cluster, ClusterSpec};
+use bench::{check, hal_cluster, header, stream_fuse, Table, SCALE};
 use cluster::{Calibration, JobConfig};
+use cluster::{Cluster, ClusterSpec};
 use workloads::stream::{run_stream, ArrayPlace, StreamConfig, StreamKernel};
 
 const D: ArrayPlace = ArrayPlace::Dram;
@@ -25,7 +25,13 @@ fn main() {
     // DRAM-only reference.
     let dram_cfg = JobConfig::dram_only(8, 1);
     let dram_cluster = hal_cluster(&dram_cfg);
-    let dram = run_stream(&dram_cluster, &dram_cfg, calib, &base_cfg, StreamKernel::Triad);
+    let dram = run_stream(
+        &dram_cluster,
+        &dram_cfg,
+        calib,
+        &base_cfg,
+        StreamKernel::Triad,
+    );
     println!(
         "DRAM-only reference: {:.1} MB/s (normalized 100)\n",
         dram.bandwidth_mb_s
@@ -81,6 +87,8 @@ fn main() {
             format!("{:.1}", remote.bandwidth_mb_s),
             format!("{}", local.verified && remote.verified),
         ]);
+        bench::store_health(&format!("L {}", scfg.placement_label()), &lcluster);
+        bench::store_health(&format!("R {}", scfg.placement_label()), &rcluster);
     }
 
     println!();
@@ -88,7 +96,16 @@ fn main() {
     let lf = 100.0 / worst_local;
     let rf = 100.0 / worst_remote;
     println!("worst-case slowdown: local {lf:.0}x (paper 62x), remote {rf:.0}x (paper 115x)");
-    check("local SSD slowdown within 2x of the paper's 62x", lf > 31.0 && lf < 124.0);
-    check("remote SSD slowdown within 2x of the paper's 115x", rf > 57.0 && rf < 230.0);
-    check("remote always slower than local", worst_remote < worst_local + 1e-9);
+    check(
+        "local SSD slowdown within 2x of the paper's 62x",
+        lf > 31.0 && lf < 124.0,
+    );
+    check(
+        "remote SSD slowdown within 2x of the paper's 115x",
+        rf > 57.0 && rf < 230.0,
+    );
+    check(
+        "remote always slower than local",
+        worst_remote < worst_local + 1e-9,
+    );
 }

@@ -2,7 +2,7 @@
 //! row-major access, shared mmap file for B, across the paper's
 //! DRAM/L-SSD/R-SSD `(x:y:z)` configurations.
 
-use bench::{check, header, hal_cluster, secs, Table};
+use bench::{check, hal_cluster, header, secs, Table};
 use cluster::JobConfig;
 use workloads::matmul::{run_mm, BPlacement, MmConfig, MmReport};
 
@@ -27,7 +27,9 @@ fn run_one(cfg: &JobConfig, place: BPlacement) -> MmReport {
         b_place: place,
         ..MmConfig::paper_2gb(N)
     };
-    run_mm(&cluster, cfg, &mm).expect("feasible configuration")
+    let r = run_mm(&cluster, cfg, &mm).expect("feasible configuration");
+    bench::store_health(&r.label, &cluster);
+    r
 }
 
 fn main() {
@@ -62,11 +64,26 @@ fn main() {
 
     let total = |i: usize| reports[i].stages.total().as_secs_f64();
     let dram = total(0);
-    println!("L-SSD(2:16:16) vs DRAM(2:16:0): {:+.2}% (paper: -2.19%)", (1.0 - total(1) / dram) * 100.0);
-    println!("L-SSD(8:16:16) vs DRAM(2:16:0): {:+.2}% (paper: +53.75%)", (1.0 - total(2) / dram) * 100.0);
-    println!("R-SSD(8:8:8)  vs L-SSD(8:8:8):  {:+.2}% (paper: -1.42%)", (1.0 - total(4) / total(3)) * 100.0);
-    println!("R-SSD(8:8:8)  vs DRAM(2:16:0):  {:+.2}% (paper: +34.73%)", (1.0 - total(4) / dram) * 100.0);
-    println!("R-SSD(8:8:1)  vs DRAM(2:16:0):  {:+.2}% (paper: +32.47%)", (1.0 - total(7) / dram) * 100.0);
+    println!(
+        "L-SSD(2:16:16) vs DRAM(2:16:0): {:+.2}% (paper: -2.19%)",
+        (1.0 - total(1) / dram) * 100.0
+    );
+    println!(
+        "L-SSD(8:16:16) vs DRAM(2:16:0): {:+.2}% (paper: +53.75%)",
+        (1.0 - total(2) / dram) * 100.0
+    );
+    println!(
+        "R-SSD(8:8:8)  vs L-SSD(8:8:8):  {:+.2}% (paper: -1.42%)",
+        (1.0 - total(4) / total(3)) * 100.0
+    );
+    println!(
+        "R-SSD(8:8:8)  vs DRAM(2:16:0):  {:+.2}% (paper: +34.73%)",
+        (1.0 - total(4) / dram) * 100.0
+    );
+    println!(
+        "R-SSD(8:8:1)  vs DRAM(2:16:0):  {:+.2}% (paper: +32.47%)",
+        (1.0 - total(7) / dram) * 100.0
+    );
     println!();
 
     check(

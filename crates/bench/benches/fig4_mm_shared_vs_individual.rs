@@ -30,7 +30,10 @@ fn cluster_for(cfg: &JobConfig) -> Cluster {
 }
 
 fn main() {
-    header("Fig. 4: MM, shared vs individual mmap files for B", "Fig. 4");
+    header(
+        "Fig. 4: MM, shared vs individual mmap files for B",
+        "Fig. 4",
+    );
     let t = Table::new(&[
         ("Config", 17),
         ("Broadcast-B", 12),
@@ -71,8 +74,9 @@ fn main() {
         .into_iter()
         .enumerate()
         {
+            let cluster = cluster_for(&cfg);
             let r = run_mm(
-                &cluster_for(&cfg),
+                &cluster,
                 &cfg,
                 &MmConfig {
                     b_place: place,
@@ -87,6 +91,7 @@ fn main() {
                 secs(r.stages.computing),
                 secs(r.stages.total()),
             ]);
+            bench::store_health(&format!("{}-{tag}", r.label), &cluster);
         }
         let penalty = totals[0] / totals[1] - 1.0;
         worst_penalty = worst_penalty.max(penalty);
@@ -95,9 +100,18 @@ fn main() {
     }
 
     println!();
-    println!("worst individual-vs-shared penalty: {:.1}% (paper: up to 18%)", worst_penalty * 100.0);
-    check("individual mode is never faster than shared", pairs.iter().all(|(s, i)| i >= s));
-    check("penalty within 2x of the paper's 18% worst case", worst_penalty > 0.0 && worst_penalty < 0.36);
+    println!(
+        "worst individual-vs-shared penalty: {:.1}% (paper: up to 18%)",
+        worst_penalty * 100.0
+    );
+    check(
+        "individual mode is never faster than shared",
+        pairs.iter().all(|(s, i)| i >= s),
+    );
+    check(
+        "penalty within 2x of the paper's 18% worst case",
+        worst_penalty > 0.0 && worst_penalty < 0.36,
+    );
     check(
         "individual mode still beats the DRAM-only baseline (8-core cases)",
         pairs[1].1 < dram.stages.total().as_secs_f64(),

@@ -61,6 +61,7 @@ fn main() {
             )
             .unwrap();
             comp[slot] = r.stages.computing.as_secs_f64();
+            bench::store_health(&format!("{} {order:?}", cfg.label()), &cluster);
         }
         t.row(&[
             cfg.label(),

@@ -79,7 +79,9 @@ fn main() {
         JobConfig::remote(8, 8, 8),
         JobConfig::remote(8, 8, 4),
     ] {
-        let r = run_mm(&cluster_for(&cfg), &cfg, &MmConfig::paper_8gb(N_8GB)).unwrap();
+        let cluster = cluster_for(&cfg);
+        let r = run_mm(&cluster, &cfg, &MmConfig::paper_8gb(N_8GB)).unwrap();
+        bench::store_health(&r.label, &cluster);
         t.row(&[
             r.label.clone(),
             secs(r.stages.input_split_a),
@@ -93,9 +95,17 @@ fn main() {
     }
     println!();
     let factor = computing[0] / r2.stages.computing.as_secs_f64();
-    println!("computing growth 2 GB → 8 GB at L-SSD(8:16:16): {factor:.1}x (paper: ~9x, naive 16x)");
-    check("DRAM-only placement is infeasible for the 8 GB problem", infeasible.is_err());
-    check("computing grows by 8-16x (paper measured ~9x)", factor > 6.0 && factor < 18.0);
+    println!(
+        "computing growth 2 GB → 8 GB at L-SSD(8:16:16): {factor:.1}x (paper: ~9x, naive 16x)"
+    );
+    check(
+        "DRAM-only placement is infeasible for the 8 GB problem",
+        infeasible.is_err(),
+    );
+    check(
+        "computing grows by 8-16x (paper measured ~9x)",
+        factor > 6.0 && factor < 18.0,
+    );
     check(
         "all NVMalloc configurations complete a problem larger than physical memory",
         computing.iter().all(|c| *c > 0.0),

@@ -93,7 +93,7 @@ fn bench_rendezvous(c: &mut Criterion) {
 }
 
 fn bench_store_write(c: &mut Criterion) {
-    use chunkstore::{AggregateStore, Benefactor, StoreConfig, StripeSpec, PlacementPolicy};
+    use chunkstore::{AggregateStore, Benefactor, PlacementPolicy, StoreConfig, StripeSpec};
     use devices::{Ssd, INTEL_X25E};
     use netsim::{NetConfig, Network};
     use simcore::StatsRegistry;
@@ -106,7 +106,14 @@ fn bench_store_write(c: &mut Criterion) {
         store.add_benefactor(Benefactor::new(0, ssd, 1 << 30, 256 * 1024));
         let (t, f) = store.create_file(VTime::ZERO, 1, "/bench").unwrap();
         store
-            .fallocate(t, 1, f, 16 << 20, StripeSpec::All, PlacementPolicy::RoundRobin)
+            .fallocate(
+                t,
+                1,
+                f,
+                16 << 20,
+                StripeSpec::all(),
+                PlacementPolicy::RoundRobin,
+            )
             .unwrap();
         let page = vec![1u8; 4096];
         let mut t = VTime::ZERO;
@@ -115,7 +122,11 @@ fn bench_store_write(c: &mut Criterion) {
             t += VTime::from_micros(1);
             let off = (i * 4096) % (256 * 1024 - 4096);
             i += 1;
-            black_box(store.write_pages(t, 1, f, (i % 64) as usize, &[(off, &page)]).unwrap());
+            black_box(
+                store
+                    .write_pages(t, 1, f, (i % 64) as usize, &[(off, &page)])
+                    .unwrap(),
+            );
         });
     });
 }

@@ -68,6 +68,7 @@ fn main() {
             format!("{gain:.2}x"),
             format!("{}", with.verified && raw.verified),
         ]);
+        bench::store_health(kernel.name(), &cluster);
     }
     println!();
     check(

@@ -49,8 +49,9 @@ fn main() {
     .into_iter()
     .enumerate()
     {
+        let cluster = cluster_for(&cfg);
         let r = run_mm(
-            &cluster_for(&cfg),
+            &cluster,
             &cfg,
             &MmConfig {
                 order,
@@ -58,6 +59,7 @@ fn main() {
             },
         )
         .unwrap();
+        bench::store_health(label, &cluster);
         t.row(&[
             label.to_string(),
             gib(r.traffic.app_b_bytes),

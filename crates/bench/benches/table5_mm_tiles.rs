@@ -9,7 +9,7 @@
 //! values unscaled. (At 128 ranks the scaled-down per-rank share would be
 //! smaller than the smallest tile.)
 
-use bench::{check, header, hal_cluster, Table};
+use bench::{check, hal_cluster, header, Table};
 use cluster::JobConfig;
 use workloads::matmul::{run_mm, AccessOrder, MmConfig};
 
@@ -20,11 +20,7 @@ fn main() {
         "Table V: MM computing time vs tile size (adapted: 8 ranks, 128 rows each)",
         "Table V",
     );
-    let t = Table::new(&[
-        ("Tile", 6),
-        ("Row-major s", 12),
-        ("Col-major s", 12),
-    ]);
+    let t = Table::new(&[("Tile", 6), ("Row-major s", 12), ("Col-major s", 12)]);
     let cfg = JobConfig::local(8, 1, 1);
     let tiles = [16usize, 32, 64, 128];
     let mut row_times = Vec::new();
@@ -35,8 +31,9 @@ fn main() {
             .into_iter()
             .enumerate()
         {
+            let cluster = hal_cluster(&cfg);
             let r = run_mm(
-                &hal_cluster(&cfg),
+                &cluster,
                 &cfg,
                 &MmConfig {
                     tile,
@@ -46,6 +43,7 @@ fn main() {
             )
             .unwrap();
             comp[slot] = r.stages.computing.as_secs_f64();
+            bench::store_health(&format!("tile {tile} {order:?}"), &cluster);
         }
         t.row(&[
             tile.to_string(),

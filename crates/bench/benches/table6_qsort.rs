@@ -10,12 +10,15 @@
 //! Paper: L-SSD is ~10× faster than the two-pass DRAM baseline; R-SSD is
 //! slower than L-SSD but still sorts in one pass.
 
-use bench::{check, header, hal_cluster_scaled, Table, SORT_SCALE};
+use bench::{check, hal_cluster_scaled, header, Table, SORT_SCALE};
 use cluster::JobConfig;
 use workloads::qsort::{run_sort_dram_two_pass, run_sort_hybrid, SortConfig};
 
 fn main() {
-    header("Table VI: 200 GB parallel quicksort (scale 1/1024)", "Table VI");
+    header(
+        "Table VI: 200 GB parallel quicksort (scale 1/1024)",
+        "Table VI",
+    );
     // 200 GB of u64 → scaled to 128 ranks × 196,608 elements.
     let total = 128 * 196_608;
 
@@ -40,8 +43,9 @@ fn main() {
     ]);
 
     let l_cfg = JobConfig::local(8, 16, 16);
+    let l_cluster = hal_cluster_scaled(&l_cfg, SORT_SCALE);
     let l = run_sort_hybrid(
-        &hal_cluster_scaled(&l_cfg, SORT_SCALE),
+        &l_cluster,
         &l_cfg,
         &SortConfig {
             dram_part: (1, 2),
@@ -56,8 +60,9 @@ fn main() {
     ]);
 
     let r_cfg = JobConfig::remote(8, 8, 8);
+    let r_cluster = hal_cluster_scaled(&r_cfg, SORT_SCALE);
     let r = run_sort_hybrid(
-        &hal_cluster_scaled(&r_cfg, SORT_SCALE),
+        &r_cluster,
         &r_cfg,
         &SortConfig {
             dram_part: (1, 4),
@@ -70,14 +75,26 @@ fn main() {
         r.passes.to_string(),
         r.verified.to_string(),
     ]);
+    bench::store_health(&l.label, &l_cluster);
+    bench::store_health(&r.label, &r_cluster);
 
     println!();
     let speedup = dram.time.as_secs_f64() / l.time.as_secs_f64();
     println!("L-SSD(8:16:16) speedup over two-pass DRAM: {speedup:.1}x (paper: ~10x)");
-    check("every configuration produces a verified sorted permutation",
-        dram.verified && l.verified && r.verified);
-    check("hybrid sorts in one pass, DRAM-only needs two", l.passes == 1 && dram.passes == 2);
-    check("L-SSD hybrid is several times faster than two-pass DRAM (paper: 10x)", speedup > 3.0);
-    check("R-SSD (half the nodes, more NVM) is slower than L-SSD but beats two-pass",
-        r.time > l.time && r.time < dram.time);
+    check(
+        "every configuration produces a verified sorted permutation",
+        dram.verified && l.verified && r.verified,
+    );
+    check(
+        "hybrid sorts in one pass, DRAM-only needs two",
+        l.passes == 1 && dram.passes == 2,
+    );
+    check(
+        "L-SSD hybrid is several times faster than two-pass DRAM (paper: 10x)",
+        speedup > 3.0,
+    );
+    check(
+        "R-SSD (half the nodes, more NVM) is slower than L-SSD but beats two-pass",
+        r.time > l.time && r.time < dram.time,
+    );
 }

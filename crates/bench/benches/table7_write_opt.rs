@@ -12,10 +12,17 @@ use fusemm::FuseConfig;
 use workloads::randwrite::{run_randwrite, RandWriteConfig, RandWriteReport};
 
 fn main() {
-    header("Table VII: random-write synthetic, write optimization", "Table VII");
+    header(
+        "Table VII: random-write synthetic, write optimization",
+        "Table VII",
+    );
     let region = (2u64 << 30) / SCALE; // 2 GB scaled = 128 chunks
     let writes = (131_072 / SCALE as usize).max(1); // keep 16 writes/chunk
-    println!("region {} MiB, {} single-byte writes\n", region >> 20, writes);
+    println!(
+        "region {} MiB, {} single-byte writes\n",
+        region >> 20,
+        writes
+    );
 
     let cfg = JobConfig::local(1, 1, 1);
     let rw = RandWriteConfig {
@@ -33,7 +40,9 @@ fn main() {
                 ..scaled_fuse(SCALE)
             },
         );
-        run_randwrite(&cluster, &cfg, &rw, optimized)
+        let r = run_randwrite(&cluster, &cfg, &rw, optimized);
+        bench::store_health(if optimized { "w/ opt" } else { "w/o opt" }, &cluster);
+        r
     };
 
     let opt = run(true);
@@ -48,7 +57,12 @@ fn main() {
     ]);
     for r in [&opt, &unopt] {
         t.row(&[
-            if r.optimized { "w/ Optimization" } else { "w/o Optimization" }.to_string(),
+            if r.optimized {
+                "w/ Optimization"
+            } else {
+                "w/o Optimization"
+            }
+            .to_string(),
             mib(r.data_to_fuse),
             mib(r.data_to_ssd),
             format!("{:.3}", r.time.as_secs_f64()),
@@ -58,9 +72,14 @@ fn main() {
     println!();
     let reduction = unopt.data_to_ssd as f64 / opt.data_to_ssd as f64;
     println!("SSD-volume reduction: {reduction:.1}x (paper: 19.3 GB / 504 MB = 38x)");
-    check("to-FUSE volume identical in both modes (paper: 467 vs 471 MB)",
-        opt.data_to_fuse == unopt.data_to_fuse);
-    check("optimization cuts SSD volume by an order of magnitude (paper: 38x)", reduction > 10.0);
+    check(
+        "to-FUSE volume identical in both modes (paper: 467 vs 471 MB)",
+        opt.data_to_fuse == unopt.data_to_fuse,
+    );
+    check(
+        "optimization cuts SSD volume by an order of magnitude (paper: 38x)",
+        reduction > 10.0,
+    );
     check("optimization also cuts runtime", opt.time < unopt.time);
     check("both runs verified", opt.verified && unopt.verified);
 }

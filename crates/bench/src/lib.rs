@@ -71,6 +71,37 @@ pub fn secs(t: VTime) -> String {
     format!("{:.3}", t.as_secs_f64())
 }
 
+/// Print the store-health line for a finished run: SSD wear per
+/// benefactor (total + worst) plus the fault-injection / replication
+/// counters. Every bench target that touches the NVM store prints this so
+/// failovers, repairs and wear imbalance are visible next to the numbers
+/// they influenced.
+pub fn store_health(label: &str, cluster: &Cluster) {
+    let wear = cluster.store.wear_reports();
+    if wear.is_empty() {
+        return; // DRAM-only configuration: no store to report on
+    }
+    let total: u64 = wear.iter().map(|(_, w)| w.bytes_written).sum();
+    let (worst_node, worst) = wear
+        .iter()
+        .map(|(n, w)| (*n, w.bytes_written))
+        .max_by_key(|&(_, b)| b)
+        .unwrap();
+    let s = &cluster.stats;
+    println!(
+        "  [health {label}] wear {} total, worst n{worst_node} {} | crashes={} recoveries={} \
+         failovers={} degraded_reads={} repairs={} ({})",
+        simcore::bytes::human(total),
+        simcore::bytes::human(worst),
+        s.get("store.benefactor_crashes"),
+        s.get("store.benefactor_recoveries"),
+        s.get("store.failovers"),
+        s.get("store.degraded_reads"),
+        s.get("store.repairs_chunks"),
+        simcore::bytes::human(s.get("store.repairs_bytes")),
+    );
+}
+
 /// Simple fixed-width table printer.
 pub struct Table {
     widths: Vec<usize>,

@@ -129,11 +129,7 @@ impl Benefactor {
 
     /// Read a whole chunk, charging the SSD.
     pub(crate) fn read_chunk(&self, t: VTime, id: ChunkId) -> (Grant, Box<[u8]>) {
-        let data = self
-            .chunks
-            .get(&id)
-            .expect("read of missing chunk")
-            .clone();
+        let data = self.chunks.get(&id).expect("read of missing chunk").clone();
         let g = self.ssd.read_at(t, self.chunk_size);
         (g, data)
     }
@@ -152,6 +148,14 @@ impl Benefactor {
     /// Whether this benefactor currently stores `id`.
     pub fn has_chunk(&self, id: ChunkId) -> bool {
         self.chunks.contains_key(&id)
+    }
+
+    /// Every chunk physically present on this benefactor, sorted (for
+    /// deterministic reconcile/repair sweeps).
+    pub fn chunk_ids(&self) -> Vec<ChunkId> {
+        let mut ids: Vec<ChunkId> = self.chunks.keys().copied().collect();
+        ids.sort_unstable_by_key(|c| c.0);
+        ids
     }
 
     /// Duplicate a chunk's bytes into a new chunk id on this benefactor,

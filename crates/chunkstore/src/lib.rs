@@ -24,5 +24,5 @@ pub mod store;
 pub use benefactor::Benefactor;
 pub use error::{Result, StoreError};
 pub use ids::{BenefactorId, ChunkId, FileId};
-pub use manager::{FileMeta, Manager, PlacementPolicy, Slot, StripeSpec};
-pub use store::{AggregateStore, ChunkPayload, StoreConfig};
+pub use manager::{ChunkMeta, FileMeta, Manager, PlacementPolicy, Slot, StripeSpec, StripeWidth};
+pub use store::{AggregateStore, ChunkPayload, RepairReport, StoreConfig};

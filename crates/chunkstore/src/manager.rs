@@ -11,9 +11,9 @@ use crate::error::{Result, StoreError};
 use crate::ids::{BenefactorId, ChunkId, FileId};
 use std::collections::HashMap;
 
-/// How a file's benefactor list is chosen at `fallocate` time.
+/// How wide a file stripes: which benefactors end up in its stripe list.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum StripeSpec {
+pub enum StripeWidth {
     /// Use every alive benefactor.
     All,
     /// Pick `n` alive benefactors round-robin from the manager's rotating
@@ -22,6 +22,52 @@ pub enum StripeSpec {
     /// Use exactly these benefactors (the evaluation's `z` configurations
     /// pin specific nodes).
     Explicit(Vec<BenefactorId>),
+}
+
+/// How a file's benefactor list is chosen at `fallocate` time, and how
+/// many copies of each chunk the store keeps.
+///
+/// `replicas = 1` (the default) is the paper's unreplicated layout: a
+/// benefactor failure makes its chunks unreachable. `replicas = k` places
+/// every chunk on `k` *distinct* benefactors from the stripe, so reads
+/// fail over and the repair scanner restores redundancy after a crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StripeSpec {
+    pub width: StripeWidth,
+    pub replicas: usize,
+}
+
+impl StripeSpec {
+    /// Stripe over every alive benefactor, unreplicated.
+    pub fn all() -> Self {
+        StripeSpec {
+            width: StripeWidth::All,
+            replicas: 1,
+        }
+    }
+
+    /// Stripe over `n` cursor-picked benefactors, unreplicated.
+    pub fn count(n: usize) -> Self {
+        StripeSpec {
+            width: StripeWidth::Count(n),
+            replicas: 1,
+        }
+    }
+
+    /// Stripe over exactly these benefactors, unreplicated.
+    pub fn explicit(list: Vec<BenefactorId>) -> Self {
+        StripeSpec {
+            width: StripeWidth::Explicit(list),
+            replicas: 1,
+        }
+    }
+
+    /// Keep `k ≥ 1` copies of every chunk on distinct benefactors.
+    pub fn with_replicas(mut self, k: usize) -> Self {
+        assert!(k >= 1, "replica degree must be at least 1");
+        self.replicas = k;
+        self
+    }
 }
 
 /// Chunk placement within a file's benefactor list.
@@ -55,6 +101,9 @@ pub struct FileMeta {
     pub stripe: Vec<BenefactorId>,
     pub slots: Vec<Slot>,
     pub placement: PlacementPolicy,
+    /// Copies kept of every chunk (≥ 1); replica `r` of slot `i` lives on
+    /// the stripe position `r` places after the primary's.
+    pub replicas: usize,
     /// Optional expiry: §III-C's "associating a lifetime with these
     /// memory-mapped variables, so that they are persistent beyond the
     /// application run" — and reclaimed once the workflow is done.
@@ -62,18 +111,46 @@ pub struct FileMeta {
 }
 
 impl FileMeta {
-    /// The benefactor that owns slot `idx`.
-    pub fn home_of_slot(&self, idx: usize) -> BenefactorId {
+    /// Index into the stripe list of slot `idx`'s primary copy.
+    fn stripe_pos_of_slot(&self, idx: usize) -> usize {
         assert!(!self.stripe.is_empty(), "file not fallocated");
         match self.placement {
-            PlacementPolicy::RoundRobin => self.stripe[idx % self.stripe.len()],
+            PlacementPolicy::RoundRobin => idx % self.stripe.len(),
             PlacementPolicy::RandomPermutation { seed } => {
                 // Deterministic per-(file,index) pick via SplitMix.
                 let h = simcore::rng::child_seed(seed, idx as u64);
-                self.stripe[(h % self.stripe.len() as u64) as usize]
+                (h % self.stripe.len() as u64) as usize
             }
         }
     }
+
+    /// The benefactor that owns slot `idx`'s primary copy.
+    pub fn home_of_slot(&self, idx: usize) -> BenefactorId {
+        self.stripe[self.stripe_pos_of_slot(idx)]
+    }
+
+    /// All benefactors owning a copy of slot `idx`: the primary plus the
+    /// next `replicas - 1` stripe positions. Distinct as long as
+    /// `replicas <= stripe.len()` (enforced at fallocate).
+    pub fn homes_of_slot(&self, idx: usize) -> Vec<BenefactorId> {
+        let base = self.stripe_pos_of_slot(idx);
+        (0..self.replicas.min(self.stripe.len()))
+            .map(|r| self.stripe[(base + r) % self.stripe.len()])
+            .collect()
+    }
+}
+
+/// Manager-side record of one materialized chunk's placement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkMeta {
+    /// Benefactors currently holding an identical, authoritative copy.
+    /// The first entry is the primary (preferred read source). Invariant:
+    /// non-empty, entries distinct. A write that finds a dead home drops
+    /// it from this list — the bytes left on the dead benefactor are
+    /// stale and get reclaimed by `reconcile_recovered`.
+    pub homes: Vec<BenefactorId>,
+    /// Replica degree the chunk should have (its file's `replicas`).
+    pub target: usize,
 }
 
 /// The manager's whole state, including the benefactor fleet.
@@ -84,7 +161,7 @@ pub struct Manager {
     files: HashMap<FileId, FileMeta>,
     by_name: HashMap<String, FileId>,
     chunk_refs: HashMap<ChunkId, u32>,
-    chunk_home: HashMap<ChunkId, BenefactorId>,
+    chunk_meta: HashMap<ChunkId, ChunkMeta>,
     next_file: u64,
     next_chunk: u64,
     stripe_cursor: usize,
@@ -99,7 +176,7 @@ impl Manager {
             files: HashMap::new(),
             by_name: HashMap::new(),
             chunk_refs: HashMap::new(),
-            chunk_home: HashMap::new(),
+            chunk_meta: HashMap::new(),
             next_file: 0,
             next_chunk: 0,
             stripe_cursor: 0,
@@ -166,6 +243,7 @@ impl Manager {
                 stripe: Vec::new(),
                 slots: Vec::new(),
                 placement: PlacementPolicy::RoundRobin,
+                replicas: 1,
                 expires_at: None,
             },
         );
@@ -186,7 +264,10 @@ impl Manager {
     }
 
     /// `posix_fallocate`: fix the file size, pick the stripe and reserve
-    /// one chunk slot per stripe position on the owning benefactors.
+    /// one chunk slot per replica per stripe position on the owning
+    /// benefactors. With `spec.replicas = k`, every slot reserves `k`
+    /// copies on `k` distinct benefactors — requires `k` not to exceed
+    /// the resolved stripe width.
     pub fn fallocate(
         &mut self,
         id: FileId,
@@ -196,7 +277,14 @@ impl Manager {
     ) -> Result<()> {
         let chunk_size = self.chunk_size;
         let n_slots = size.div_ceil(chunk_size) as usize;
+        let replicas = spec.replicas;
         let stripe = self.resolve_stripe(spec)?;
+        if replicas > stripe.len() {
+            return Err(StoreError::NotEnoughBenefactors {
+                requested: replicas,
+                alive: stripe.len(),
+            });
+        }
 
         // Count slots per benefactor under the chosen placement, then
         // check space before mutating anything.
@@ -206,11 +294,14 @@ impl Manager {
             stripe: stripe.clone(),
             slots: vec![Slot::Unmaterialized; n_slots],
             placement,
+            replicas,
             expires_at: None,
         };
         let mut per_bene: HashMap<BenefactorId, u64> = HashMap::new();
         for i in 0..n_slots {
-            *per_bene.entry(meta_preview.home_of_slot(i)).or_insert(0) += 1;
+            for home in meta_preview.homes_of_slot(i) {
+                *per_bene.entry(home).or_insert(0) += 1;
+            }
         }
         for (&b, &slots) in &per_bene {
             let bene = &self.benefactors[b.0];
@@ -237,16 +328,28 @@ impl Manager {
         meta.stripe = stripe;
         meta.slots = vec![Slot::Unmaterialized; n_slots];
         meta.placement = placement;
+        meta.replicas = replicas;
         Ok(())
     }
 
+    /// Resolve a stripe spec to a concrete benefactor list.
+    ///
+    /// Error contract:
+    /// * no benefactor alive at all, or an empty `Explicit` list →
+    ///   [`StoreError::NoBenefactors`];
+    /// * `Explicit` naming a benefactor that is dead **or was never
+    ///   registered** → [`StoreError::BenefactorDown`] for that id (an
+    ///   unknown id is indistinguishable from a permanently-dead one from
+    ///   the caller's perspective, so both report the same way);
+    /// * `Count(n)` with `n` zero or above the alive population →
+    ///   [`StoreError::NotEnoughBenefactors`].
     fn resolve_stripe(&mut self, spec: StripeSpec) -> Result<Vec<BenefactorId>> {
         let alive = self.alive_benefactors();
         if alive.is_empty() {
             return Err(StoreError::NoBenefactors);
         }
-        match spec {
-            StripeSpec::All => {
+        match spec.width {
+            StripeWidth::All => {
                 // Rotate the list per file so concurrent writers of
                 // equally-striped files do not hit the same benefactor in
                 // lockstep (the manager's load balancing).
@@ -256,7 +359,7 @@ impl Manager {
                     .map(|i| alive[(start + i) % alive.len()])
                     .collect())
             }
-            StripeSpec::Count(n) => {
+            StripeWidth::Count(n) => {
                 if n == 0 || n > alive.len() {
                     return Err(StoreError::NotEnoughBenefactors {
                         requested: n,
@@ -267,17 +370,14 @@ impl Manager {
                 self.stripe_cursor = self.stripe_cursor.wrapping_add(n);
                 Ok((0..n).map(|i| alive[(start + i) % alive.len()]).collect())
             }
-            StripeSpec::Explicit(list) => {
-                for &b in &list {
-                    if b.0 >= self.benefactors.len() {
-                        return Err(StoreError::NoBenefactors);
-                    }
-                    if !self.benefactors[b.0].is_alive() {
-                        return Err(StoreError::BenefactorDown(b));
-                    }
-                }
+            StripeWidth::Explicit(list) => {
                 if list.is_empty() {
                     return Err(StoreError::NoBenefactors);
+                }
+                for &b in &list {
+                    if b.0 >= self.benefactors.len() || !self.benefactors[b.0].is_alive() {
+                        return Err(StoreError::BenefactorDown(b));
+                    }
                 }
                 Ok(list)
             }
@@ -291,8 +391,9 @@ impl Manager {
         for (i, slot) in meta.slots.iter().enumerate() {
             match slot {
                 Slot::Unmaterialized => {
-                    let home = meta.home_of_slot(i);
-                    self.benefactors[home.0].release_slots(1);
+                    for home in meta.homes_of_slot(i) {
+                        self.benefactors[home.0].release_slots(1);
+                    }
                 }
                 Slot::Hole => {}
                 Slot::Chunk(c) => self.decref_chunk(*c),
@@ -312,8 +413,10 @@ impl Manager {
         *refs -= 1;
         if *refs == 0 {
             self.chunk_refs.remove(&c);
-            let home = self.chunk_home.remove(&c).expect("chunk without home");
-            self.benefactors[home.0].drop_chunk(c);
+            let meta = self.chunk_meta.remove(&c).expect("chunk without home");
+            for home in meta.homes {
+                self.benefactors[home.0].drop_chunk(c);
+            }
         }
     }
 
@@ -321,16 +424,102 @@ impl Manager {
         self.chunk_refs.get(&c).copied().unwrap_or(0)
     }
 
+    /// The chunk's primary home (first live-listed copy).
     pub fn chunk_home(&self, c: ChunkId) -> Option<BenefactorId> {
-        self.chunk_home.get(&c).copied()
+        self.chunk_meta.get(&c).map(|m| m.homes[0])
     }
 
-    pub(crate) fn new_chunk_id(&mut self, home: BenefactorId) -> ChunkId {
+    /// Every benefactor holding an authoritative copy of `c`.
+    pub fn chunk_homes(&self, c: ChunkId) -> Option<&[BenefactorId]> {
+        self.chunk_meta.get(&c).map(|m| m.homes.as_slice())
+    }
+
+    /// The chunk's intended replica degree.
+    pub fn chunk_target(&self, c: ChunkId) -> Option<usize> {
+        self.chunk_meta.get(&c).map(|m| m.target)
+    }
+
+    pub(crate) fn new_chunk_id(&mut self, homes: Vec<BenefactorId>, target: usize) -> ChunkId {
+        assert!(!homes.is_empty(), "chunk needs at least one home");
         let id = ChunkId(self.next_chunk);
         self.next_chunk += 1;
         self.chunk_refs.insert(id, 1);
-        self.chunk_home.insert(id, home);
+        self.chunk_meta.insert(id, ChunkMeta { homes, target });
         id
+    }
+
+    /// Drop `home` from `c`'s authoritative copy list (the copy there is
+    /// dead or stale). The chunk must keep at least one home.
+    pub(crate) fn remove_chunk_home(&mut self, c: ChunkId, home: BenefactorId) {
+        let meta = self.chunk_meta.get_mut(&c).expect("unknown chunk");
+        meta.homes.retain(|&h| h != home);
+        assert!(!meta.homes.is_empty(), "chunk {c} lost its last home");
+    }
+
+    /// Record a freshly repaired copy of `c` on `home`.
+    pub(crate) fn add_chunk_home(&mut self, c: ChunkId, home: BenefactorId) {
+        let meta = self.chunk_meta.get_mut(&c).expect("unknown chunk");
+        debug_assert!(!meta.homes.contains(&home), "duplicate home");
+        meta.homes.push(home);
+    }
+
+    /// Chunks whose live copy count is below target, with a live donor.
+    /// Returns `(chunk, donor, missing_copies)` triples.
+    pub fn under_replicated(&self) -> Vec<(ChunkId, BenefactorId, usize)> {
+        let mut out: Vec<(ChunkId, BenefactorId, usize)> = self
+            .chunk_meta
+            .iter()
+            .filter_map(|(&c, m)| {
+                let live: Vec<BenefactorId> = m
+                    .homes
+                    .iter()
+                    .copied()
+                    .filter(|&h| self.benefactors[h.0].is_alive())
+                    .collect();
+                if live.is_empty() || live.len() >= m.target {
+                    return None;
+                }
+                Some((c, live[0], m.target - live.len()))
+            })
+            .collect();
+        out.sort_by_key(|&(c, _, _)| c);
+        out
+    }
+
+    /// Reconcile a benefactor that came back from the dead: physically
+    /// drop every chunk it holds that the metadata no longer lists there
+    /// (writes re-homed those chunks while it was down, so its copies are
+    /// stale), and trim chunks the repair scanner re-replicated elsewhere
+    /// in the meantime (the revived copy is the redundant one). Returns
+    /// the number of chunk copies reclaimed.
+    pub fn reconcile_recovered(&mut self, b: BenefactorId) -> usize {
+        let stale: Vec<ChunkId> = self.benefactors[b.0]
+            .chunk_ids()
+            .into_iter()
+            .filter(|c| self.chunk_meta.get(c).is_none_or(|m| !m.homes.contains(&b)))
+            .collect();
+        for &c in &stale {
+            self.benefactors[b.0].drop_chunk(c);
+        }
+        let over: Vec<ChunkId> = self.benefactors[b.0]
+            .chunk_ids()
+            .into_iter()
+            .filter(|c| {
+                self.chunk_meta.get(c).is_some_and(|m| {
+                    m.homes.contains(&b)
+                        && m.homes
+                            .iter()
+                            .filter(|h| self.benefactors[h.0].is_alive())
+                            .count()
+                            > m.target
+                })
+            })
+            .collect();
+        for &c in &over {
+            self.benefactors[b.0].drop_chunk(c);
+            self.remove_chunk_home(c, b);
+        }
+        stale.len() + over.len()
     }
 
     /// Record that file `id` slot `idx` now holds `chunk` (refcount was
@@ -411,7 +600,7 @@ mod tests {
 
     fn materialize(m: &mut Manager, f: FileId, idx: usize) -> ChunkId {
         let home = m.file(f).unwrap().home_of_slot(idx);
-        let c = m.new_chunk_id(home);
+        let c = m.new_chunk_id(vec![home], 1);
         m.benefactor_mut(home).store_chunk(
             VTime::ZERO,
             c,
@@ -441,7 +630,7 @@ mod tests {
     fn fallocate_reserves_striped_slots() {
         let mut m = mgr(2, 16);
         let f = m.create_file("/x").unwrap();
-        m.fallocate(f, 4 * CHUNK, StripeSpec::All, PlacementPolicy::RoundRobin)
+        m.fallocate(f, 4 * CHUNK, StripeSpec::all(), PlacementPolicy::RoundRobin)
             .unwrap();
         // 4 slots over 2 benefactors: 2 each.
         assert_eq!(m.benefactor(BenefactorId(0)).used(), 2 * CHUNK);
@@ -457,7 +646,7 @@ mod tests {
     fn fallocate_partial_chunk_rounds_up() {
         let mut m = mgr(1, 16);
         let f = m.create_file("/x").unwrap();
-        m.fallocate(f, CHUNK + 1, StripeSpec::All, PlacementPolicy::RoundRobin)
+        m.fallocate(f, CHUNK + 1, StripeSpec::all(), PlacementPolicy::RoundRobin)
             .unwrap();
         assert_eq!(m.file(f).unwrap().slots.len(), 2);
     }
@@ -467,7 +656,7 @@ mod tests {
         let mut m = mgr(1, 2);
         let f = m.create_file("/x").unwrap();
         let err = m
-            .fallocate(f, 3 * CHUNK, StripeSpec::All, PlacementPolicy::RoundRobin)
+            .fallocate(f, 3 * CHUNK, StripeSpec::all(), PlacementPolicy::RoundRobin)
             .unwrap_err();
         assert!(matches!(err, StoreError::OutOfSpace { .. }));
         // Nothing was reserved on failure.
@@ -478,12 +667,17 @@ mod tests {
     fn stripe_count_selects_subset() {
         let mut m = mgr(4, 16);
         let f = m.create_file("/x").unwrap();
-        m.fallocate(f, 8 * CHUNK, StripeSpec::Count(2), PlacementPolicy::RoundRobin)
-            .unwrap();
+        m.fallocate(
+            f,
+            8 * CHUNK,
+            StripeSpec::count(2),
+            PlacementPolicy::RoundRobin,
+        )
+        .unwrap();
         assert_eq!(m.file(f).unwrap().stripe.len(), 2);
         let y = m.create_file("/y").unwrap();
         let err = m
-            .fallocate(y, CHUNK, StripeSpec::Count(9), PlacementPolicy::RoundRobin)
+            .fallocate(y, CHUNK, StripeSpec::count(9), PlacementPolicy::RoundRobin)
             .unwrap_err();
         assert!(matches!(err, StoreError::NotEnoughBenefactors { .. }));
     }
@@ -495,7 +689,7 @@ mod tests {
         m.fallocate(
             f,
             4 * CHUNK,
-            StripeSpec::Explicit(vec![BenefactorId(3), BenefactorId(1)]),
+            StripeSpec::explicit(vec![BenefactorId(3), BenefactorId(1)]),
             PlacementPolicy::RoundRobin,
         )
         .unwrap();
@@ -513,7 +707,7 @@ mod tests {
             .fallocate(
                 f,
                 CHUNK,
-                StripeSpec::Explicit(vec![BenefactorId(1)]),
+                StripeSpec::explicit(vec![BenefactorId(1)]),
                 PlacementPolicy::RoundRobin,
             )
             .unwrap_err();
@@ -523,13 +717,78 @@ mod tests {
     }
 
     #[test]
+    fn explicit_stripe_error_contract() {
+        // The documented resolve_stripe contract for Explicit lists: an
+        // empty list is NoBenefactors; naming a dead OR never-registered
+        // benefactor is BenefactorDown(the offending id) — one error for
+        // "that benefactor cannot serve you", whatever the reason.
+        let mut m = mgr(2, 16);
+        let f = m.create_file("/x").unwrap();
+        let err = m
+            .fallocate(
+                f,
+                CHUNK,
+                StripeSpec::explicit(vec![]),
+                PlacementPolicy::RoundRobin,
+            )
+            .unwrap_err();
+        assert_eq!(err, StoreError::NoBenefactors);
+
+        let err = m
+            .fallocate(
+                f,
+                CHUNK,
+                StripeSpec::explicit(vec![BenefactorId(0), BenefactorId(9)]),
+                PlacementPolicy::RoundRobin,
+            )
+            .unwrap_err();
+        assert_eq!(err, StoreError::BenefactorDown(BenefactorId(9)));
+
+        m.benefactor_mut(BenefactorId(1)).set_alive(false);
+        let err = m
+            .fallocate(
+                f,
+                CHUNK,
+                StripeSpec::explicit(vec![BenefactorId(1)]),
+                PlacementPolicy::RoundRobin,
+            )
+            .unwrap_err();
+        assert_eq!(err, StoreError::BenefactorDown(BenefactorId(1)));
+        // Nothing was reserved by the failed attempts.
+        assert_eq!(m.benefactor(BenefactorId(0)).used(), 0);
+    }
+
+    #[test]
+    fn replicated_fallocate_reserves_k_slots_per_chunk() {
+        let mut m = mgr(3, 16);
+        let f = m.create_file("/x").unwrap();
+        m.fallocate(
+            f,
+            3 * CHUNK,
+            StripeSpec::all().with_replicas(2),
+            PlacementPolicy::RoundRobin,
+        )
+        .unwrap();
+        // 3 slots × 2 replicas = 6 reservations, spread 2 per benefactor.
+        let total: u64 = (0..3).map(|i| m.benefactor(BenefactorId(i)).used()).sum();
+        assert_eq!(total, 6 * CHUNK);
+        let meta = m.file(f).unwrap();
+        assert_eq!(meta.replicas, 2);
+        for idx in 0..3 {
+            let homes = meta.homes_of_slot(idx);
+            assert_eq!(homes.len(), 2);
+            assert_ne!(homes[0], homes[1]);
+        }
+    }
+
+    #[test]
     fn random_placement_is_deterministic() {
         let mut m = mgr(4, 64);
         let f = m.create_file("/x").unwrap();
         m.fallocate(
             f,
             32 * CHUNK,
-            StripeSpec::All,
+            StripeSpec::all(),
             PlacementPolicy::RandomPermutation { seed: 7 },
         )
         .unwrap();
@@ -545,8 +804,13 @@ mod tests {
     fn link_file_shares_chunks_and_freezes_holes() {
         let mut m = mgr(2, 16);
         let var = m.create_file("/var").unwrap();
-        m.fallocate(var, 3 * CHUNK, StripeSpec::All, PlacementPolicy::RoundRobin)
-            .unwrap();
+        m.fallocate(
+            var,
+            3 * CHUNK,
+            StripeSpec::all(),
+            PlacementPolicy::RoundRobin,
+        )
+        .unwrap();
         let c0 = materialize(&mut m, var, 0);
         // Slot 1 stays unmaterialized; slot 2 materialized.
         let c2 = materialize(&mut m, var, 2);
@@ -580,7 +844,7 @@ mod tests {
         assert_eq!(total, 8 * CHUNK);
         assert_eq!(free, 8 * CHUNK);
         let f = m.create_file("/x").unwrap();
-        m.fallocate(f, 2 * CHUNK, StripeSpec::All, PlacementPolicy::RoundRobin)
+        m.fallocate(f, 2 * CHUNK, StripeSpec::all(), PlacementPolicy::RoundRobin)
             .unwrap();
         assert_eq!(m.space().1, 6 * CHUNK);
     }

@@ -11,7 +11,8 @@ use crate::error::{Result, StoreError};
 use crate::ids::{BenefactorId, FileId};
 use crate::manager::{Manager, PlacementPolicy, Slot, StripeSpec};
 use devices::WearReport;
-use netsim::Network;
+use faults::{FaultEvent, FaultPlan};
+use netsim::{LinkFault, Network};
 use parking_lot::{Mutex, MutexGuard};
 use simcore::{Counter, StatsRegistry, VTime};
 use std::sync::Arc;
@@ -29,6 +30,13 @@ pub struct StoreConfig {
     pub rpc_bytes: u64,
     /// Manager CPU time per metadata operation.
     pub mgr_cpu: VTime,
+    /// Failover attempts per chunk read after every listed replica looks
+    /// dead: each retry waits `retry_backoff` of virtual time, re-polls
+    /// the fault plan (a scheduled recovery may land in between) and
+    /// rescans the replica list.
+    pub fetch_retries: u32,
+    /// Virtual-time backoff between failover retries.
+    pub retry_backoff: VTime,
 }
 
 impl Default for StoreConfig {
@@ -39,6 +47,8 @@ impl Default for StoreConfig {
             manager_node: 0,
             rpc_bytes: 256,
             mgr_cpu: VTime::from_micros(10),
+            fetch_retries: 2,
+            retry_backoff: VTime::from_millis(5),
         }
     }
 }
@@ -53,18 +63,36 @@ pub enum ChunkPayload {
     Data(Box<[u8]>),
 }
 
+/// Outcome of one repair sweep (see `repair_under_replicated`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Chunks whose replica degree was restored.
+    pub chunks_repaired: u64,
+    /// Bytes copied between benefactors to do it.
+    pub bytes_copied: u64,
+    /// Chunks still below target (no live donor or no space anywhere).
+    pub chunks_unrepairable: u64,
+}
+
 /// The aggregate NVM store, shared by every client on the cluster.
 #[derive(Clone)]
 pub struct AggregateStore {
     mgr: Arc<Mutex<Manager>>,
     net: Network,
     cfg: StoreConfig,
+    faults: Arc<Mutex<Option<FaultPlan>>>,
     mgr_rpcs: Counter,
     chunk_fetches: Counter,
     zero_fills: Counter,
     bytes_to_clients: Counter,
     bytes_from_clients: Counter,
     cow_clones: Counter,
+    failovers: Counter,
+    degraded_reads: Counter,
+    repairs_chunks: Counter,
+    repairs_bytes: Counter,
+    benefactor_crashes: Counter,
+    benefactor_recoveries: Counter,
 }
 
 impl AggregateStore {
@@ -73,12 +101,19 @@ impl AggregateStore {
             mgr: Arc::new(Mutex::new(Manager::new(cfg.chunk_size))),
             net,
             cfg,
+            faults: Arc::new(Mutex::new(None)),
             mgr_rpcs: stats.counter("store.mgr_rpcs"),
             chunk_fetches: stats.counter("store.chunk_fetches"),
             zero_fills: stats.counter("store.zero_fills"),
             bytes_to_clients: stats.counter("store.bytes_to_clients"),
             bytes_from_clients: stats.counter("store.bytes_from_clients"),
             cow_clones: stats.counter("store.cow_clones"),
+            failovers: stats.counter("store.failovers"),
+            degraded_reads: stats.counter("store.degraded_reads"),
+            repairs_chunks: stats.counter("store.repairs_chunks"),
+            repairs_bytes: stats.counter("store.repairs_bytes"),
+            benefactor_crashes: stats.counter("store.benefactor_crashes"),
+            benefactor_recoveries: stats.counter("store.benefactor_recoveries"),
         }
     }
 
@@ -100,6 +135,84 @@ impl AggregateStore {
         self.mgr.lock().register_benefactor(b)
     }
 
+    // ----- fault injection --------------------------------------------------
+
+    /// Install a fault plan. Due events are applied at the top of every
+    /// timed store operation, so the fleet's state tracks the virtual
+    /// clock without a separate driver process.
+    pub fn attach_faults(&self, plan: FaultPlan) {
+        *self.faults.lock() = Some(plan);
+    }
+
+    /// Apply every scheduled fault due at or before `t`.
+    pub fn poll_faults(&self, t: VTime) {
+        let due = match self.faults.lock().as_mut() {
+            Some(plan) => plan.due(t),
+            None => return,
+        };
+        for fault in due {
+            self.apply_fault(fault.event);
+        }
+    }
+
+    fn apply_fault(&self, event: FaultEvent) {
+        match event {
+            FaultEvent::BenefactorCrash { benefactor } => {
+                self.set_benefactor_alive(BenefactorId(benefactor), false);
+            }
+            FaultEvent::BenefactorRecover { benefactor } => {
+                self.set_benefactor_alive(BenefactorId(benefactor), true);
+            }
+            FaultEvent::LinkDegrade {
+                node,
+                bw_divisor,
+                extra_latency,
+            } => {
+                let partitioned = self.net.link_fault(node).partitioned;
+                self.net.set_link_fault(
+                    node,
+                    LinkFault {
+                        bw_divisor,
+                        extra_latency,
+                        partitioned,
+                    },
+                );
+            }
+            FaultEvent::LinkRestore { node } => {
+                let partitioned = self.net.link_fault(node).partitioned;
+                self.net.set_link_fault(
+                    node,
+                    LinkFault {
+                        partitioned,
+                        ..LinkFault::default()
+                    },
+                );
+            }
+            FaultEvent::Partition { node } => {
+                let mut fault = self.net.link_fault(node);
+                fault.partitioned = true;
+                self.net.set_link_fault(node, fault);
+            }
+            FaultEvent::Heal { node } => {
+                let mut fault = self.net.link_fault(node);
+                fault.partitioned = false;
+                self.net.set_link_fault(node, fault);
+            }
+            FaultEvent::SsdSlowdown { node, factor } => self.set_node_ssd_slowdown(node, factor),
+            FaultEvent::SsdRestore { node } => self.set_node_ssd_slowdown(node, 1.0),
+        }
+    }
+
+    fn set_node_ssd_slowdown(&self, node: usize, factor: f64) {
+        let mgr = self.mgr.lock();
+        for i in 0..mgr.benefactor_count() {
+            let b = mgr.benefactor(BenefactorId(i));
+            if b.node == node {
+                b.ssd().set_slowdown(factor);
+            }
+        }
+    }
+
     /// Charge one metadata round-trip to the manager.
     fn mgr_rpc(&self, t: VTime, client_node: usize) -> VTime {
         self.mgr_rpcs.inc();
@@ -116,6 +229,7 @@ impl AggregateStore {
     // ----- control plane ---------------------------------------------------
 
     pub fn create_file(&self, t: VTime, client_node: usize, name: &str) -> Result<(VTime, FileId)> {
+        self.poll_faults(t);
         let t = self.mgr_rpc(t, client_node);
         let id = self.mgr.lock().create_file(name)?;
         Ok((t, id))
@@ -130,24 +244,34 @@ impl AggregateStore {
         spec: StripeSpec,
         placement: PlacementPolicy,
     ) -> Result<VTime> {
+        self.poll_faults(t);
         let t = self.mgr_rpc(t, client_node);
         self.mgr.lock().fallocate(file, size, spec, placement)?;
         Ok(t)
     }
 
     pub fn open(&self, t: VTime, client_node: usize, name: &str) -> (VTime, Option<FileId>) {
+        self.poll_faults(t);
         let t = self.mgr_rpc(t, client_node);
         (t, self.mgr.lock().lookup(name))
     }
 
     pub fn delete(&self, t: VTime, client_node: usize, file: FileId) -> Result<VTime> {
+        self.poll_faults(t);
         let t = self.mgr_rpc(t, client_node);
         self.mgr.lock().delete_file(file)?;
         Ok(t)
     }
 
     /// Zero-copy checkpoint linking: append `src`'s chunks to `dst`.
-    pub fn link_file(&self, t: VTime, client_node: usize, dst: FileId, src: FileId) -> Result<VTime> {
+    pub fn link_file(
+        &self,
+        t: VTime,
+        client_node: usize,
+        dst: FileId,
+        src: FileId,
+    ) -> Result<VTime> {
+        self.poll_faults(t);
         let t = self.mgr_rpc(t, client_node);
         self.mgr.lock().link_file(dst, src)?;
         Ok(t)
@@ -169,6 +293,14 @@ impl AggregateStore {
     /// Cost model (paper §III-D): a manager RPC resolves the chunk to a
     /// benefactor, then the client pulls the chunk directly from that
     /// benefactor — request message, SSD read, data transfer back.
+    ///
+    /// With replication, the replica list is scanned in order and the
+    /// read fails over to the first copy that is alive and reachable
+    /// (counted in `store.failovers` / `store.degraded_reads`). When no
+    /// copy is serviceable the read backs off `retry_backoff` of virtual
+    /// time, re-polls the fault plan (a scheduled recovery may land in
+    /// between) and retries up to `fetch_retries` times before failing
+    /// with [`StoreError::BenefactorDown`] for the primary copy.
     pub fn fetch_chunk(
         &self,
         t: VTime,
@@ -176,9 +308,10 @@ impl AggregateStore {
         file: FileId,
         idx: usize,
     ) -> Result<(VTime, ChunkPayload)> {
-        let t = self.mgr_rpc(t, client_node);
+        self.poll_faults(t);
+        let mut t = self.mgr_rpc(t, client_node);
         self.chunk_fetches.inc();
-        let (slot, home_node, home) = {
+        let chunk = {
             let mgr = self.mgr.lock();
             let meta = mgr.file(file)?;
             if idx >= meta.slots.len() {
@@ -190,40 +323,71 @@ impl AggregateStore {
                 });
             }
             match meta.slots[idx] {
-                Slot::Unmaterialized | Slot::Hole => (None, 0, BenefactorId(0)),
-                Slot::Chunk(c) => {
-                    let home = mgr.chunk_home(c).expect("chunk without home");
-                    if !mgr.benefactor(home).is_alive() {
-                        return Err(StoreError::BenefactorDown(home));
-                    }
-                    (Some(c), mgr.benefactor(home).node, home)
-                }
+                Slot::Unmaterialized | Slot::Hole => None,
+                Slot::Chunk(c) => Some(c),
             }
         };
 
-        match slot {
+        let c = match chunk {
             None => {
                 // Hole: the manager's reply says "no data"; zeros are
                 // materialized client-side for free.
                 self.zero_fills.inc();
-                Ok((t, ChunkPayload::Zeros))
+                return Ok((t, ChunkPayload::Zeros));
             }
-            Some(c) => {
-                // Request message to the benefactor…
-                let req = self
-                    .net
-                    .transfer_at(t, client_node, home_node, self.cfg.rpc_bytes);
-                // …SSD read at the benefactor…
-                let (grant, data) = {
-                    let mgr = self.mgr.lock();
-                    mgr.benefactor(home).read_chunk(req.arrived, c)
-                };
-                // …chunk shipped back.
-                let resp = self
-                    .net
-                    .transfer_at(grant.end, home_node, client_node, self.cfg.chunk_size);
-                self.bytes_to_clients.add(self.cfg.chunk_size);
-                Ok((resp.arrived, ChunkPayload::Data(data)))
+            Some(c) => c,
+        };
+
+        let mut attempts = 0;
+        loop {
+            // Rescan the replica list every attempt: writes may have
+            // re-homed the chunk and recoveries may have revived a copy.
+            let pick = {
+                let mgr = self.mgr.lock();
+                let homes = mgr.chunk_homes(c).expect("chunk without home");
+                let primary = homes[0];
+                let serviceable = homes.iter().enumerate().find(|(_, &h)| {
+                    mgr.benefactor(h).is_alive()
+                        && self.net.reachable(mgr.benefactor(h).node, client_node)
+                });
+                match serviceable {
+                    Some((rank, &h)) => Ok((rank, h, mgr.benefactor(h).node)),
+                    None => Err(primary),
+                }
+            };
+            match pick {
+                Ok((rank, home, home_node)) => {
+                    if rank > 0 || attempts > 0 {
+                        self.failovers.inc();
+                        self.degraded_reads.inc();
+                    }
+                    // Request message to the benefactor…
+                    let req = self
+                        .net
+                        .transfer_at(t, client_node, home_node, self.cfg.rpc_bytes);
+                    // …SSD read at the benefactor…
+                    let (grant, data) = {
+                        let mgr = self.mgr.lock();
+                        mgr.benefactor(home).read_chunk(req.arrived, c)
+                    };
+                    // …chunk shipped back.
+                    let resp = self.net.transfer_at(
+                        grant.end,
+                        home_node,
+                        client_node,
+                        self.cfg.chunk_size,
+                    );
+                    self.bytes_to_clients.add(self.cfg.chunk_size);
+                    return Ok((resp.arrived, ChunkPayload::Data(data)));
+                }
+                Err(primary) => {
+                    if attempts >= self.cfg.fetch_retries {
+                        return Err(StoreError::BenefactorDown(primary));
+                    }
+                    attempts += 1;
+                    t += self.cfg.retry_backoff;
+                    self.poll_faults(t);
+                }
             }
         }
     }
@@ -238,6 +402,13 @@ impl AggregateStore {
     /// * shared chunk (checkpoint-linked) → copy-on-write: the benefactor
     ///   clones the chunk locally, the updates land on the clone, and the
     ///   file's slot is switched while the checkpoint keeps the original.
+    ///
+    /// Replication: the dirty bytes ship to **every** live copy (each
+    /// transfer and SSD write is charged; completion is the slowest
+    /// replica). A copy whose benefactor is dead is dropped from the
+    /// chunk's home list — its on-disk bytes are stale from now on and
+    /// are reclaimed when the benefactor reconciles on recovery. The
+    /// write only fails if *no* copy is on a live benefactor.
     pub fn write_pages(
         &self,
         t: VTime,
@@ -255,6 +426,7 @@ impl AggregateStore {
             );
         }
 
+        self.poll_faults(t);
         let t = self.mgr_rpc(t, client_node);
         let mut mgr = self.mgr.lock();
         let meta = mgr.file(file)?;
@@ -267,85 +439,141 @@ impl AggregateStore {
             });
         }
         let slot = meta.slots[idx];
-        // Holes (zero regions inside linked checkpoint files) carry no
-        // reservation and may sit in a file with no stripe of its own;
-        // writing one allocates fresh space wherever it fits.
-        let home = match slot {
+        let replicas = meta.replicas.max(1);
+
+        // Resolve the live home set for this write.
+        let (live_homes, target) = match slot {
+            Slot::Unmaterialized => {
+                let homes = meta.homes_of_slot(idx);
+                let (live, dead): (Vec<BenefactorId>, Vec<BenefactorId>) =
+                    homes.iter().partition(|&&h| mgr.benefactor(h).is_alive());
+                if live.is_empty() {
+                    return Err(StoreError::BenefactorDown(homes[0]));
+                }
+                // The dead homes' reservations move off their books: the
+                // chunk materializes on the live subset only, and repair
+                // re-replicates it elsewhere later.
+                for h in dead {
+                    mgr.benefactor_mut(h).release_slots(1);
+                }
+                (live, replicas)
+            }
             Slot::Hole => {
-                let alive = mgr.alive_benefactors();
-                alive
-                    .into_iter()
-                    .find(|b| mgr.benefactor(*b).can_allocate_chunk(false))
-                    .ok_or(StoreError::OutOfSpace {
+                // Holes (zero regions inside linked checkpoint files)
+                // carry no reservation and may sit in a file with no
+                // stripe of its own; writing one allocates fresh space
+                // wherever it fits — up to `replicas` distinct hosts.
+                let mut picked = Vec::new();
+                for b in mgr.alive_benefactors() {
+                    if picked.len() == replicas {
+                        break;
+                    }
+                    if mgr.benefactor(b).can_allocate_chunk(false) {
+                        picked.push(b);
+                    }
+                }
+                if picked.is_empty() {
+                    return Err(StoreError::OutOfSpace {
                         requested: self.cfg.chunk_size,
                         available: 0,
-                    })?
+                    });
+                }
+                (picked, replicas)
             }
-            // A materialized chunk's authoritative home is the chunk map
-            // (a linked slot's position in *this* file says nothing about
-            // where the shared chunk actually lives).
-            Slot::Chunk(c) => mgr.chunk_home(c).expect("chunk has a home"),
-            Slot::Unmaterialized => meta.home_of_slot(idx),
+            // A materialized chunk's authoritative homes are the chunk
+            // map (a linked slot's position in *this* file says nothing
+            // about where the shared chunk actually lives).
+            Slot::Chunk(c) => {
+                let homes: Vec<BenefactorId> =
+                    mgr.chunk_homes(c).expect("chunk has a home").to_vec();
+                let (live, dead): (Vec<BenefactorId>, Vec<BenefactorId>) =
+                    homes.iter().partition(|&&h| mgr.benefactor(h).is_alive());
+                if live.is_empty() {
+                    return Err(StoreError::BenefactorDown(homes[0]));
+                }
+                for h in dead {
+                    mgr.remove_chunk_home(c, h);
+                }
+                let target = mgr.chunk_target(c).expect("chunk has a target");
+                (live, target)
+            }
         };
-        let home_node = mgr.benefactor(home).node;
-        if !mgr.benefactor(home).is_alive() {
-            return Err(StoreError::BenefactorDown(home));
+
+        // COW space check happens before any time is charged.
+        if let Slot::Chunk(c) = slot {
+            if mgr.chunk_refcount(c) > 1 {
+                for &h in &live_homes {
+                    if !mgr.benefactor(h).can_allocate_chunk(false) {
+                        return Err(StoreError::OutOfSpace {
+                            requested: self.cfg.chunk_size,
+                            available: mgr.benefactor(h).free(),
+                        });
+                    }
+                }
+            }
         }
 
-        // Ship the dirty bytes to the benefactor.
-        let xfer = self.net.transfer_at(t, client_node, home_node, dirty_bytes);
-        self.bytes_from_clients.add(dirty_bytes);
-        let t_arrive = xfer.arrived;
-
-        let end = match slot {
-            Slot::Unmaterialized => {
-                // First write: compose zeros + updates, consume reservation.
-                let mut data = vec![0u8; self.cfg.chunk_size as usize].into_boxed_slice();
-                for (off, d) in updates {
-                    data[*off as usize..*off as usize + d.len()].copy_from_slice(d);
-                }
-                let c = mgr.new_chunk_id(home);
-                let g = mgr
-                    .benefactor_mut(home)
-                    .store_chunk(t_arrive, c, data, dirty_bytes, true);
-                mgr.set_slot(file, idx, Slot::Chunk(c));
-                g.end
+        let compose = |updates: &[(u64, &[u8])]| {
+            let mut data = vec![0u8; self.cfg.chunk_size as usize].into_boxed_slice();
+            for (off, d) in updates {
+                data[*off as usize..*off as usize + d.len()].copy_from_slice(d);
             }
-            Slot::Hole => {
-                // Materialize the zero region as a fresh chunk (no
-                // reservation to consume — space was checked above).
-                let mut data = vec![0u8; self.cfg.chunk_size as usize].into_boxed_slice();
-                for (off, d) in updates {
-                    data[*off as usize..*off as usize + d.len()].copy_from_slice(d);
+            data
+        };
+
+        let mut end = VTime::ZERO;
+        match slot {
+            Slot::Unmaterialized | Slot::Hole => {
+                // First write: compose zeros + updates on every live copy.
+                // Unmaterialized slots consume their fallocate reservation;
+                // hole writes allocate unreserved space (checked above).
+                let consumes_reservation = matches!(slot, Slot::Unmaterialized);
+                let data = compose(updates);
+                let c = mgr.new_chunk_id(live_homes.clone(), target);
+                for &home in &live_homes {
+                    let home_node = mgr.benefactor(home).node;
+                    let xfer = self.net.transfer_at(t, client_node, home_node, dirty_bytes);
+                    self.bytes_from_clients.add(dirty_bytes);
+                    let g = mgr.benefactor_mut(home).store_chunk(
+                        xfer.arrived,
+                        c,
+                        data.clone(),
+                        dirty_bytes,
+                        consumes_reservation,
+                    );
+                    end = end.max(g.end);
                 }
-                let c = mgr.new_chunk_id(home);
-                let g = mgr
-                    .benefactor_mut(home)
-                    .store_chunk(t_arrive, c, data, dirty_bytes, false);
                 mgr.set_slot(file, idx, Slot::Chunk(c));
-                g.end
             }
             Slot::Chunk(c) => {
                 if mgr.chunk_refcount(c) > 1 {
-                    // COW: clone on the same benefactor, then update.
-                    if !mgr.benefactor(home).can_allocate_chunk(false) {
-                        return Err(StoreError::OutOfSpace {
-                            requested: self.cfg.chunk_size,
-                            available: mgr.benefactor(home).free(),
-                        });
-                    }
+                    // COW: clone on each live copy's benefactor, then
+                    // land the updates on the clones.
                     self.cow_clones.inc();
-                    let c_new = mgr.new_chunk_id(home);
-                    let g = mgr.benefactor_mut(home).clone_chunk(t_arrive, c, c_new);
-                    let g2 = mgr.benefactor_mut(home).update_chunk(g.end, c_new, updates);
+                    let c_new = mgr.new_chunk_id(live_homes.clone(), target);
+                    for &home in &live_homes {
+                        let home_node = mgr.benefactor(home).node;
+                        let xfer = self.net.transfer_at(t, client_node, home_node, dirty_bytes);
+                        self.bytes_from_clients.add(dirty_bytes);
+                        let g = mgr.benefactor_mut(home).clone_chunk(xfer.arrived, c, c_new);
+                        let g2 = mgr.benefactor_mut(home).update_chunk(g.end, c_new, updates);
+                        end = end.max(g2.end);
+                    }
                     mgr.set_slot(file, idx, Slot::Chunk(c_new));
                     mgr.decref_chunk(c);
-                    g2.end
                 } else {
-                    mgr.benefactor_mut(home).update_chunk(t_arrive, c, updates).end
+                    for &home in &live_homes {
+                        let home_node = mgr.benefactor(home).node;
+                        let xfer = self.net.transfer_at(t, client_node, home_node, dirty_bytes);
+                        self.bytes_from_clients.add(dirty_bytes);
+                        let g = mgr
+                            .benefactor_mut(home)
+                            .update_chunk(xfer.arrived, c, updates);
+                        end = end.max(g.end);
+                    }
                 }
             }
-        };
+        }
         Ok(end)
     }
 
@@ -427,9 +655,82 @@ impl AggregateStore {
 
     // ----- administration ---------------------------------------------------
 
-    /// Simulate a benefactor failure (or decommission).
+    /// Simulate a benefactor failure (or decommission/recovery). Revival
+    /// reconciles the benefactor's disk against the metadata: chunks that
+    /// were re-homed while it was down are stale there and get dropped.
     pub fn set_benefactor_alive(&self, id: BenefactorId, alive: bool) {
-        self.mgr.lock().benefactor_mut(id).set_alive(alive);
+        let mut mgr = self.mgr.lock();
+        if mgr.benefactor(id).is_alive() == alive {
+            return;
+        }
+        mgr.benefactor_mut(id).set_alive(alive);
+        if alive {
+            mgr.reconcile_recovered(id);
+            self.benefactor_recoveries.inc();
+        } else {
+            self.benefactor_crashes.inc();
+        }
+    }
+
+    /// One pass of the manager-side re-replication scanner: copy every
+    /// under-replicated chunk from a surviving copy to a live benefactor
+    /// that doesn't already hold one, restoring the replica degree after
+    /// a crash. The sweep is sequential (donor SSD read → network copy →
+    /// destination SSD write per chunk) so the returned completion time
+    /// *is* the time-to-repair. Deterministic: chunks are visited in id
+    /// order and the destination is the lowest-id eligible benefactor.
+    pub fn repair_under_replicated(&self, t: VTime) -> (VTime, RepairReport) {
+        self.poll_faults(t);
+        let mut t = t;
+        let mut report = RepairReport::default();
+        let work = self.mgr.lock().under_replicated();
+        for (c, donor, missing) in work {
+            for _ in 0..missing {
+                let mut mgr = self.mgr.lock();
+                // Re-read the home list: earlier copies in this sweep (or
+                // a racing write) may have changed it.
+                let homes: Vec<BenefactorId> = match mgr.chunk_homes(c) {
+                    Some(h) => h.to_vec(),
+                    None => break, // chunk deleted mid-sweep
+                };
+                if !mgr.benefactor(donor).is_alive() {
+                    report.chunks_unrepairable += 1;
+                    break;
+                }
+                let dest = (0..mgr.benefactor_count()).map(BenefactorId).find(|b| {
+                    !homes.contains(b)
+                        && mgr.benefactor(*b).is_alive()
+                        && mgr.benefactor(*b).can_allocate_chunk(false)
+                });
+                let dest = match dest {
+                    Some(d) => d,
+                    None => {
+                        report.chunks_unrepairable += 1;
+                        break;
+                    }
+                };
+                let donor_node = mgr.benefactor(donor).node;
+                let dest_node = mgr.benefactor(dest).node;
+                let (g, data) = mgr.benefactor(donor).read_chunk(t, c);
+                let xfer = self
+                    .net
+                    .transfer_at(g.end, donor_node, dest_node, self.cfg.chunk_size);
+                let g2 = mgr.benefactor_mut(dest).store_chunk(
+                    xfer.arrived,
+                    c,
+                    data,
+                    self.cfg.chunk_size,
+                    false,
+                );
+                mgr.add_chunk_home(c, dest);
+                t = g2.end;
+                report.chunks_repaired += 1;
+                report.bytes_copied += self.cfg.chunk_size;
+                self.repairs_chunks.inc();
+                self.repairs_bytes.add(self.cfg.chunk_size);
+            }
+        }
+        (t, report)
     }
 
     /// Per-benefactor SSD wear, for the lifetime-optimization analyses.
@@ -469,7 +770,14 @@ mod tests {
     fn make_file(store: &AggregateStore, name: &str, size: u64) -> FileId {
         let (t, f) = store.create_file(VTime::ZERO, 3, name).unwrap();
         store
-            .fallocate(t, 3, f, size, StripeSpec::All, PlacementPolicy::RoundRobin)
+            .fallocate(
+                t,
+                3,
+                f,
+                size,
+                StripeSpec::all(),
+                PlacementPolicy::RoundRobin,
+            )
             .unwrap();
         f
     }
@@ -520,7 +828,10 @@ mod tests {
         let net = simcore::Bandwidth::gbit_per_sec(2.0).time_for(CHUNK);
         assert!(elapsed >= ssd + net, "elapsed {elapsed}");
         // And not wildly more (RPCs and latencies only).
-        assert!(elapsed < ssd + net + VTime::from_millis(2), "elapsed {elapsed}");
+        assert!(
+            elapsed < ssd + net + VTime::from_millis(2),
+            "elapsed {elapsed}"
+        );
     }
 
     #[test]
@@ -528,7 +839,9 @@ mod tests {
         let (store, _) = store();
         let f = make_file(&store, "/m", 3 * CHUNK);
         // Unaligned span crossing chunk boundaries.
-        let data: Vec<u8> = (0..(CHUNK as usize + 9000)).map(|i| (i % 251) as u8).collect();
+        let data: Vec<u8> = (0..(CHUNK as usize + 9000))
+            .map(|i| (i % 251) as u8)
+            .collect();
         let t = store.write_span(VTime::ZERO, 3, f, 5000, &data).unwrap();
         let mut out = vec![0u8; data.len()];
         store.read_span(t, 3, f, 5000, &mut out).unwrap();
@@ -620,6 +933,227 @@ mod tests {
             .write_pages(VTime::ZERO, 3, f, 0, &[(0, &page)])
             .unwrap();
         assert_eq!(stats.get("store.bytes_from_clients"), 4096);
+    }
+
+    /// `n` benefactors on nodes `1..=n`; the client drives from node `n+1`.
+    fn store_n(n: usize) -> (AggregateStore, StatsRegistry) {
+        let stats = StatsRegistry::new();
+        let net = Network::new(n + 2, NetConfig::default(), &stats);
+        let store = AggregateStore::new(StoreConfig::default(), net, &stats);
+        for i in 0..n {
+            let ssd = Ssd::new(&format!("b{i}.ssd"), INTEL_X25E, &stats);
+            store.add_benefactor(Benefactor::new(i + 1, ssd, mib(64), CHUNK));
+        }
+        (store, stats)
+    }
+
+    fn make_file_replicated(
+        store: &AggregateStore,
+        node: usize,
+        name: &str,
+        size: u64,
+        k: usize,
+    ) -> FileId {
+        let (t, f) = store.create_file(VTime::ZERO, node, name).unwrap();
+        store
+            .fallocate(
+                t,
+                node,
+                f,
+                size,
+                StripeSpec::all().with_replicas(k),
+                PlacementPolicy::RoundRobin,
+            )
+            .unwrap();
+        f
+    }
+
+    #[test]
+    fn replicated_write_lands_on_every_replica() {
+        let (store, stats) = store_n(3);
+        let client = 4;
+        let f = make_file_replicated(&store, client, "/m", CHUNK, 2);
+        let page = vec![9u8; 4096];
+        store
+            .write_pages(VTime::ZERO, client, f, 0, &[(0, &page)])
+            .unwrap();
+        // Dirty bytes shipped once per replica.
+        assert_eq!(stats.get("store.bytes_from_clients"), 2 * 4096);
+        let mgr = store.manager();
+        let meta = mgr.file(f).unwrap();
+        let c = match meta.slots[0] {
+            Slot::Chunk(c) => c,
+            _ => panic!("chunk not materialized"),
+        };
+        let homes = mgr.chunk_homes(c).unwrap().to_vec();
+        assert_eq!(homes.len(), 2);
+        assert_ne!(homes[0], homes[1], "replicas on distinct benefactors");
+        for h in homes {
+            assert!(mgr.benefactor(h).has_chunk(c));
+        }
+    }
+
+    #[test]
+    fn replication_needs_enough_benefactors() {
+        let (store, _) = store_n(2);
+        let (t, f) = store.create_file(VTime::ZERO, 3, "/m").unwrap();
+        let err = store
+            .fallocate(
+                t,
+                3,
+                f,
+                CHUNK,
+                StripeSpec::all().with_replicas(3),
+                PlacementPolicy::RoundRobin,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::NotEnoughBenefactors {
+                requested: 3,
+                alive: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn read_fails_over_to_surviving_replica() {
+        let (store, stats) = store_n(2);
+        let client = 3;
+        let f = make_file_replicated(&store, client, "/m", CHUNK, 2);
+        let page = vec![7u8; 4096];
+        let t = store
+            .write_pages(VTime::ZERO, client, f, 0, &[(0, &page)])
+            .unwrap();
+        store.set_benefactor_alive(BenefactorId(0), false);
+        let (_, payload) = store.fetch_chunk(t, client, f, 0).unwrap();
+        match payload {
+            ChunkPayload::Data(data) => assert_eq!(data[0], 7),
+            _ => panic!("expected data"),
+        }
+        assert_eq!(stats.get("store.failovers"), 1);
+        assert_eq!(stats.get("store.degraded_reads"), 1);
+    }
+
+    #[test]
+    fn write_during_outage_drops_dead_copy_and_recovery_reconciles() {
+        let (store, _) = store_n(2);
+        let client = 3;
+        let f = make_file_replicated(&store, client, "/m", CHUNK, 2);
+        let page_a = vec![0xAu8; 4096];
+        let mut t = store
+            .write_pages(VTime::ZERO, client, f, 0, &[(0, &page_a)])
+            .unwrap();
+        let c = match store.manager().file(f).unwrap().slots[0] {
+            Slot::Chunk(c) => c,
+            _ => unreachable!(),
+        };
+        // Primary dies; the next write lands only on the survivor and the
+        // dead copy is dropped from the home list (it is stale now).
+        store.set_benefactor_alive(BenefactorId(0), false);
+        let page_b = vec![0xBu8; 4096];
+        t = store.write_pages(t, client, f, 0, &[(0, &page_b)]).unwrap();
+        assert_eq!(
+            store.manager().chunk_homes(c).unwrap(),
+            &[BenefactorId(1)],
+            "dead copy dropped"
+        );
+        // Recovery reconciles: the stale physical copy is deleted, so no
+        // read can ever observe the pre-outage bytes.
+        store.set_benefactor_alive(BenefactorId(0), true);
+        assert!(!store.manager().benefactor(BenefactorId(0)).has_chunk(c));
+        let (_, payload) = store.fetch_chunk(t, client, f, 0).unwrap();
+        match payload {
+            ChunkPayload::Data(data) => assert_eq!(data[0], 0xB),
+            _ => panic!("expected data"),
+        }
+    }
+
+    #[test]
+    fn repair_restores_replica_degree() {
+        let (store, stats) = store_n(3);
+        let client = 4;
+        let f = make_file_replicated(&store, client, "/m", 2 * CHUNK, 2);
+        let page = vec![5u8; 4096];
+        let mut t = VTime::ZERO;
+        for idx in 0..2 {
+            t = store.write_pages(t, client, f, idx, &[(0, &page)]).unwrap();
+        }
+        // b1 hosts one copy of both chunks (slot 0 → {b0,b1}, slot 1 →
+        // {b1,b2}); killing it degrades both.
+        store.set_benefactor_alive(BenefactorId(1), false);
+        // Touch the chunks so the dead copies are dropped from metadata.
+        for idx in 0..2 {
+            t = store.write_pages(t, client, f, idx, &[(0, &page)]).unwrap();
+        }
+        assert_eq!(store.manager().under_replicated().len(), 2);
+
+        let (t_done, report) = store.repair_under_replicated(t);
+        assert_eq!(report.chunks_repaired, 2);
+        assert_eq!(report.bytes_copied, 2 * CHUNK);
+        assert_eq!(report.chunks_unrepairable, 0);
+        assert!(t_done > t, "repair consumes virtual time");
+        assert!(store.manager().under_replicated().is_empty());
+        assert_eq!(stats.get("store.repairs_bytes"), 2 * CHUNK);
+        // Every chunk is back on two live benefactors.
+        let mgr = store.manager();
+        for idx in 0..2 {
+            let c = match mgr.file(f).unwrap().slots[idx] {
+                Slot::Chunk(c) => c,
+                _ => unreachable!(),
+            };
+            let homes = mgr.chunk_homes(c).unwrap();
+            assert_eq!(homes.len(), 2);
+            assert!(homes.iter().all(|&h| mgr.benefactor(h).is_alive()));
+        }
+    }
+
+    #[test]
+    fn fault_plan_crash_is_survived_with_replicas() {
+        let (store, stats) = store_n(2);
+        let client = 3;
+        let f = make_file_replicated(&store, client, "/m", CHUNK, 2);
+        let page = vec![3u8; 4096];
+        let t = store
+            .write_pages(VTime::ZERO, client, f, 0, &[(0, &page)])
+            .unwrap();
+        store.attach_faults(
+            faults::FaultPlanBuilder::new(42)
+                .crash(t + VTime::from_millis(1), 0)
+                .build(),
+        );
+        // Before the scheduled crash: clean read from the primary.
+        let (_, p1) = store.fetch_chunk(t, client, f, 0).unwrap();
+        assert_eq!(stats.get("store.failovers"), 0);
+        // After it: the poll applies the crash and the read fails over.
+        let (_, p2) = store
+            .fetch_chunk(t + VTime::from_millis(2), client, f, 0)
+            .unwrap();
+        assert_eq!(p1, p2, "failover returns identical bytes");
+        assert_eq!(stats.get("store.benefactor_crashes"), 1);
+        assert!(stats.get("store.failovers") > 0);
+    }
+
+    #[test]
+    fn fetch_retry_waits_out_a_scheduled_recovery() {
+        let (store, stats) = store_n(1);
+        let client = 2;
+        let f = make_file_replicated(&store, client, "/m", CHUNK, 1);
+        let page = vec![1u8; 4096];
+        let t = store
+            .write_pages(VTime::ZERO, client, f, 0, &[(0, &page)])
+            .unwrap();
+        store.set_benefactor_alive(BenefactorId(0), false);
+        // A recovery lands within the retry window (default 2 × 5 ms).
+        store.attach_faults(
+            faults::FaultPlanBuilder::new(7)
+                .recover(t + VTime::from_millis(8), 0)
+                .build(),
+        );
+        let (_, payload) = store.fetch_chunk(t, client, f, 0).unwrap();
+        assert!(matches!(payload, ChunkPayload::Data(_)));
+        assert_eq!(stats.get("store.benefactor_recoveries"), 1);
+        assert!(stats.get("store.degraded_reads") > 0);
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! File-lifetime tests (§III-C: variables persistent beyond the run,
 //! reclaimed by the manager once expired).
 
-use chunkstore::{
-    AggregateStore, Benefactor, PlacementPolicy, StoreConfig, StripeSpec,
-};
+use chunkstore::{AggregateStore, Benefactor, PlacementPolicy, StoreConfig, StripeSpec};
 use devices::{Ssd, INTEL_X25E};
 use netsim::{NetConfig, Network};
 use simcore::{StatsRegistry, VTime};
@@ -24,13 +22,34 @@ fn expired_files_are_reclaimed() {
     let store = store();
     let node = 1;
     let (t, keep) = store.create_file(VTime::ZERO, node, "/keep").unwrap();
-    store.fallocate(t, node, keep, CHUNK, StripeSpec::All, PlacementPolicy::RoundRobin).unwrap();
+    store
+        .fallocate(
+            t,
+            node,
+            keep,
+            CHUNK,
+            StripeSpec::all(),
+            PlacementPolicy::RoundRobin,
+        )
+        .unwrap();
     let (t, ttl) = store.create_file(t, node, "/ttl").unwrap();
-    store.fallocate(t, node, ttl, CHUNK, StripeSpec::All, PlacementPolicy::RoundRobin).unwrap();
+    store
+        .fallocate(
+            t,
+            node,
+            ttl,
+            CHUNK,
+            StripeSpec::all(),
+            PlacementPolicy::RoundRobin,
+        )
+        .unwrap();
     let data = vec![1u8; 4096];
     let t = store.write_pages(t, node, ttl, 0, &[(0, &data)]).unwrap();
 
-    store.manager().set_lifetime(ttl, Some(VTime::from_secs(10))).unwrap();
+    store
+        .manager()
+        .set_lifetime(ttl, Some(VTime::from_secs(10)))
+        .unwrap();
 
     // Before the deadline: nothing happens.
     assert_eq!(store.manager().expire_files(VTime::from_secs(9)), 0);
@@ -49,8 +68,20 @@ fn lifetime_can_be_cleared() {
     let store = store();
     let node = 1;
     let (t, f) = store.create_file(VTime::ZERO, node, "/f").unwrap();
-    store.fallocate(t, node, f, CHUNK, StripeSpec::All, PlacementPolicy::RoundRobin).unwrap();
-    store.manager().set_lifetime(f, Some(VTime::from_secs(1))).unwrap();
+    store
+        .fallocate(
+            t,
+            node,
+            f,
+            CHUNK,
+            StripeSpec::all(),
+            PlacementPolicy::RoundRobin,
+        )
+        .unwrap();
+    store
+        .manager()
+        .set_lifetime(f, Some(VTime::from_secs(1)))
+        .unwrap();
     store.manager().set_lifetime(f, None).unwrap();
     assert_eq!(store.manager().expire_files(VTime::from_secs(100)), 0);
     assert_eq!(store.manager().lookup("/f"), Some(f));
@@ -61,14 +92,26 @@ fn expiry_of_linked_checkpoint_respects_refcounts() {
     let store = store();
     let node = 1;
     let (t, var) = store.create_file(VTime::ZERO, node, "/var").unwrap();
-    store.fallocate(t, node, var, CHUNK, StripeSpec::All, PlacementPolicy::RoundRobin).unwrap();
+    store
+        .fallocate(
+            t,
+            node,
+            var,
+            CHUNK,
+            StripeSpec::all(),
+            PlacementPolicy::RoundRobin,
+        )
+        .unwrap();
     let data = vec![7u8; 4096];
     let t = store.write_pages(t, node, var, 0, &[(0, &data)]).unwrap();
     let (t2, ck) = store.create_file(t, node, "/ck").unwrap();
     let t = store.link_file(t2, node, ck, var).unwrap();
 
     // The checkpoint expires; the variable keeps its chunk.
-    store.manager().set_lifetime(ck, Some(VTime::from_secs(1))).unwrap();
+    store
+        .manager()
+        .set_lifetime(ck, Some(VTime::from_secs(1)))
+        .unwrap();
     assert_eq!(store.manager().expire_files(VTime::from_secs(2)), 1);
     assert!(store.fetch_chunk(t, node, var, 0).is_ok());
     assert_eq!(store.manager().physical_bytes(), CHUNK);

@@ -3,9 +3,7 @@
 //! consistent and chunk reference counting must never leak or
 //! double-free.
 
-use chunkstore::{
-    AggregateStore, Benefactor, FileId, PlacementPolicy, StoreConfig, StripeSpec,
-};
+use chunkstore::{AggregateStore, Benefactor, FileId, PlacementPolicy, StoreConfig, StripeSpec};
 use devices::{Ssd, INTEL_X25E};
 use netsim::{NetConfig, Network};
 use proptest::prelude::*;
@@ -68,7 +66,10 @@ fn check_invariants(store: &AggregateStore, live: &[FileId]) {
             if let chunkstore::Slot::Chunk(c) = slot {
                 assert!(mgr.chunk_refcount(*c) >= 1, "live chunk without refs");
                 let home = mgr.chunk_home(*c).expect("chunk has a home");
-                assert!(mgr.benefactor(home).has_chunk(*c), "metadata points at data");
+                assert!(
+                    mgr.benefactor(home).has_chunk(*c),
+                    "metadata points at data"
+                );
             }
         }
     }
@@ -93,7 +94,7 @@ proptest! {
                         t = t2;
                         match store.fallocate(
                             t, node, f, size_chunks * CHUNK,
-                            StripeSpec::All, PlacementPolicy::RoundRobin,
+                            StripeSpec::all(), PlacementPolicy::RoundRobin,
                         ) {
                             Ok(t2) => { t = t2; files.push(f); }
                             Err(_) => { t = store.delete(t, node, f).unwrap(); }

@@ -35,7 +35,7 @@ fn mk_file(store: &AggregateStore, name: &str, chunks: u64, node: usize) -> chun
             node,
             f,
             chunks * CHUNK,
-            StripeSpec::All,
+            StripeSpec::all(),
             PlacementPolicy::RoundRobin,
         )
         .unwrap();
@@ -85,7 +85,9 @@ fn cow_fails_cleanly_when_benefactor_full() {
     t = store.link_file(t1, node, ck, var).unwrap();
 
     let page = vec![2u8; 4096];
-    let err = store.write_pages(t, node, var, 0, &[(0, &page)]).unwrap_err();
+    let err = store
+        .write_pages(t, node, var, 0, &[(0, &page)])
+        .unwrap_err();
     assert!(matches!(err, StoreError::OutOfSpace { .. }));
     // The frozen checkpoint is intact.
     let (_, p) = store.fetch_chunk(t, node, ck, 0).unwrap();
@@ -98,9 +100,18 @@ fn stripe_count_rotates_across_files() {
     let node = 4;
     let mut firsts = Vec::new();
     for i in 0..4 {
-        let (t, f) = store.create_file(VTime::ZERO, node, &format!("/f{i}")).unwrap();
+        let (t, f) = store
+            .create_file(VTime::ZERO, node, &format!("/f{i}"))
+            .unwrap();
         store
-            .fallocate(t, node, f, CHUNK, StripeSpec::Count(1), PlacementPolicy::RoundRobin)
+            .fallocate(
+                t,
+                node,
+                f,
+                CHUNK,
+                StripeSpec::count(1),
+                PlacementPolicy::RoundRobin,
+            )
             .unwrap();
         firsts.push(store.manager().file(f).unwrap().stripe[0]);
     }
@@ -121,7 +132,7 @@ fn random_placement_spreads_chunks() {
             node,
             f,
             64 * CHUNK,
-            StripeSpec::All,
+            StripeSpec::all(),
             PlacementPolicy::RandomPermutation { seed: 123 },
         )
         .unwrap();
@@ -207,7 +218,14 @@ fn killing_and_reviving_a_benefactor() {
     // New allocations avoid the dead benefactor.
     let (t2, g) = store.create_file(t, node, "/g").unwrap();
     store
-        .fallocate(t2, node, g, CHUNK, StripeSpec::All, PlacementPolicy::RoundRobin)
+        .fallocate(
+            t2,
+            node,
+            g,
+            CHUNK,
+            StripeSpec::all(),
+            PlacementPolicy::RoundRobin,
+        )
         .unwrap();
     assert_eq!(
         store.manager().file(g).unwrap().stripe,
@@ -225,7 +243,14 @@ fn zero_length_file_roundtrip() {
     let node = 1;
     let (t, f) = store.create_file(VTime::ZERO, node, "/empty").unwrap();
     store
-        .fallocate(t, node, f, 0, StripeSpec::All, PlacementPolicy::RoundRobin)
+        .fallocate(
+            t,
+            node,
+            f,
+            0,
+            StripeSpec::all(),
+            PlacementPolicy::RoundRobin,
+        )
         .unwrap();
     assert_eq!(store.file_size(f).unwrap(), 0);
     assert_eq!(store.chunk_count(f).unwrap(), 0);

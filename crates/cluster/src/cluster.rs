@@ -30,11 +30,7 @@ impl Cluster {
     }
 
     /// Same, with a custom FUSE-layer configuration (cache sweeps etc.).
-    pub fn with_fuse(
-        spec: ClusterSpec,
-        benefactor_nodes: &[usize],
-        fuse: FuseConfig,
-    ) -> Self {
+    pub fn with_fuse(spec: ClusterSpec, benefactor_nodes: &[usize], fuse: FuseConfig) -> Self {
         Self::with_configs(spec, benefactor_nodes, fuse, StoreConfig::default())
     }
 
@@ -93,6 +89,19 @@ impl Cluster {
 
     pub fn mount(&self, node: usize) -> &Mount {
         &self.mounts[node]
+    }
+
+    /// Install a [`faults::FaultPlan`] on the aggregate store: benefactor
+    /// crashes/recoveries, link faults and SSD slowdowns fire as the jobs'
+    /// virtual clocks pass the scheduled times.
+    pub fn attach_faults(&self, plan: faults::FaultPlan) {
+        self.store.attach_faults(plan);
+    }
+
+    /// Map a benefactor index (`BenefactorId.0`, the order of
+    /// `benefactor_nodes`) back to its cluster node.
+    pub fn benefactor_node(&self, benefactor: usize) -> usize {
+        self.benefactor_nodes[benefactor]
     }
 
     /// Sum of SSD wear across the store's benefactors.

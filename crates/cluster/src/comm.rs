@@ -85,8 +85,10 @@ impl Comm {
     pub fn barrier(&self, ctx: &mut ProcCtx, rank: usize) {
         let n = self.size();
         let latency = self.net.config().latency;
-        let overhead = latency * (usize::BITS - (n - 1).leading_zeros().min(usize::BITS - 1)) as u64;
-        self.rv.barrier(ctx, rank, if n > 1 { overhead } else { VTime::ZERO });
+        let overhead =
+            latency * (usize::BITS - (n - 1).leading_zeros().min(usize::BITS - 1)) as u64;
+        self.rv
+            .barrier(ctx, rank, if n > 1 { overhead } else { VTime::ZERO });
     }
 
     /// Broadcast `data` (Some at `root`, None elsewhere) to every rank.
@@ -315,7 +317,11 @@ mod tests {
     #[test]
     fn bcast_delivers_to_all() {
         run_ranks(vec![0, 0, 1, 1], |ctx, rank, comm| {
-            let data = if rank == 1 { Some(vec![1u64, 2, 3]) } else { None };
+            let data = if rank == 1 {
+                Some(vec![1u64, 2, 3])
+            } else {
+                None
+            };
             let got = comm.bcast(ctx, rank, 1, data);
             assert_eq!(got, vec![1, 2, 3]);
         });

@@ -132,12 +132,8 @@ pub const DDR3_1600: DeviceProfile = DeviceProfile {
 };
 
 /// All Table I rows, in the paper's order.
-pub const TABLE1: [&DeviceProfile; 4] = [
-    &INTEL_X25E,
-    &FUSION_IODRIVE_DUO,
-    &OCZ_REVODRIVE,
-    &DDR3_1600,
-];
+pub const TABLE1: [&DeviceProfile; 4] =
+    [&INTEL_X25E, &FUSION_IODRIVE_DUO, &OCZ_REVODRIVE, &DDR3_1600];
 
 const fn gib_const(n: u64) -> u64 {
     n * 1024 * 1024 * 1024

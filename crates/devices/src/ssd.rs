@@ -14,7 +14,9 @@
 //! reports that and the projected lifetime fraction consumed.
 
 use crate::profiles::DeviceProfile;
-use simcore::{Counter, Grant, Resource, StatsRegistry, VTime};
+use simcore::{Bandwidth, Counter, Grant, Resource, StatsRegistry, VTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Wear summary for one flash device.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -36,7 +38,14 @@ pub struct Ssd {
     written_bytes: Counter,
     reads: Counter,
     writes: Counter,
+    /// Fault-injection derating in thousandths: 1000 = nominal speed,
+    /// 4000 = 4× slower. Stored fixed-point so the neutral value divides
+    /// out exactly and an unfaulted device keeps bit-identical timing.
+    slowdown_milli: Arc<AtomicU64>,
 }
+
+/// Neutral value of the slowdown knob (no derating).
+const SLOWDOWN_NEUTRAL: u64 = 1000;
 
 impl Ssd {
     /// Create a device; counters are registered under `name.*` so
@@ -49,6 +58,31 @@ impl Ssd {
             written_bytes: stats.counter(&format!("{name}.written_bytes")),
             reads: stats.counter(&format!("{name}.reads")),
             writes: stats.counter(&format!("{name}.writes")),
+            slowdown_milli: Arc::new(AtomicU64::new(SLOWDOWN_NEUTRAL)),
+        }
+    }
+
+    /// Derate the device by `factor` (≥ 1.0): subsequent accesses take
+    /// `factor` times longer. `1.0` restores nominal speed. Shared across
+    /// clones, so fault injectors can throttle a live device in place.
+    pub fn set_slowdown(&self, factor: f64) {
+        assert!(factor >= 1.0 && factor.is_finite(), "slowdown must be >= 1");
+        self.slowdown_milli.store(
+            (factor * SLOWDOWN_NEUTRAL as f64).round() as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Current slowdown factor (1.0 = nominal).
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown_milli.load(Ordering::Relaxed) as f64 / SLOWDOWN_NEUTRAL as f64
+    }
+
+    /// Apply the current derating to a nominal transfer rate.
+    fn derated(&self, bw: Bandwidth) -> Bandwidth {
+        match self.slowdown_milli.load(Ordering::Relaxed) {
+            SLOWDOWN_NEUTRAL => bw,
+            m => bw.scaled(SLOWDOWN_NEUTRAL as f64 / m as f64),
         }
     }
 
@@ -71,8 +105,12 @@ impl Ssd {
         let moved = self.granular(bytes);
         self.read_bytes.add(moved);
         self.reads.inc();
-        self.resource
-            .transfer_at(t, moved, self.profile.read_bw, self.profile.latency)
+        self.resource.transfer_at(
+            t,
+            moved,
+            self.derated(self.profile.read_bw),
+            self.profile.latency,
+        )
     }
 
     /// Serve a write of `bytes` requested at `t`.
@@ -80,8 +118,12 @@ impl Ssd {
         let moved = self.granular(bytes);
         self.written_bytes.add(moved);
         self.writes.inc();
-        self.resource
-            .transfer_at(t, moved, self.profile.write_bw, self.profile.latency)
+        self.resource.transfer_at(
+            t,
+            moved,
+            self.derated(self.profile.write_bw),
+            self.profile.latency,
+        )
     }
 
     pub fn bytes_read(&self) -> u64 {
@@ -171,6 +213,24 @@ mod tests {
         assert!((w.mean_pe_cycles - 1.0).abs() < 1e-9);
         assert!((w.life_consumed - 1.0 / 100_000.0).abs() < 1e-12);
         assert_eq!(w.erase_ops, INTEL_X25E.capacity / INTEL_X25E.erase_block);
+    }
+
+    #[test]
+    fn slowdown_derates_transfers_and_restores_exactly() {
+        let d = x25e();
+        let nominal = d.read_at(VTime::ZERO, 256 * 1024);
+        let nominal_span = nominal.end - nominal.start;
+        d.set_slowdown(4.0);
+        let slow = d.read_at(nominal.end, 256 * 1024);
+        let slow_xfer = Bandwidth::mb_per_sec(250.0 / 4.0).time_for(256 * 1024);
+        assert_eq!(slow.end - slow.start, VTime::from_micros(75) + slow_xfer);
+        d.set_slowdown(1.0);
+        let back = d.read_at(slow.end, 256 * 1024);
+        assert_eq!(back.end - back.start, nominal_span, "neutral is exact");
+        // The knob is shared across clones (live fault injection).
+        let clone = d.clone();
+        clone.set_slowdown(2.0);
+        assert_eq!(d.slowdown(), 2.0);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Device-model edge cases beyond the in-crate unit tests.
 
-use devices::{Dram, Pfs, PfsConfig, Ssd, DDR3_1600, FUSION_IODRIVE_DUO, INTEL_X25E, OCZ_REVODRIVE};
+use devices::{
+    Dram, Pfs, PfsConfig, Ssd, DDR3_1600, FUSION_IODRIVE_DUO, INTEL_X25E, OCZ_REVODRIVE,
+};
 use simcore::{StatsRegistry, VTime};
 
 #[test]
@@ -13,7 +15,10 @@ fn faster_devices_serve_faster() {
     let t_sata = sata.read_at(VTime::ZERO, bytes).end;
     let t_mid = mid.read_at(VTime::ZERO, bytes).end;
     let t_pcie = pcie.read_at(VTime::ZERO, bytes).end;
-    assert!(t_pcie < t_mid && t_mid < t_sata, "{t_pcie} {t_mid} {t_sata}");
+    assert!(
+        t_pcie < t_mid && t_mid < t_sata,
+        "{t_pcie} {t_mid} {t_sata}"
+    );
 }
 
 #[test]
@@ -71,7 +76,10 @@ fn pfs_config_is_tunable() {
         },
         &stats,
     );
-    assert_eq!(pfs.read_at(VTime::ZERO, 1_000_000_000).end, VTime::from_secs(1));
+    assert_eq!(
+        pfs.read_at(VTime::ZERO, 1_000_000_000).end,
+        VTime::from_secs(1)
+    );
     // Writes queue behind the read on the same server at 100 MB/s.
     let g = pfs.write_at(VTime::ZERO, 100_000_000);
     assert_eq!(g.end, VTime::from_secs(2));

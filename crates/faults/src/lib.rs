@@ -1,0 +1,286 @@
+//! # faults — deterministic fault injection
+//!
+//! The paper's aggregate store must "survive benefactor failures": a
+//! compute node's SSD partition disappears mid-run and the store either
+//! fails the job cleanly (unreplicated data) or degrades and repairs
+//! (replicated data). This crate describes *when and what* fails, as a
+//! [`FaultPlan`]: a time-sorted list of events on the simulation's
+//! virtual clock.
+//!
+//! Plans are **seed-stable**: randomized plans derive every choice from
+//! an explicit seed through `simcore::rng::child_seed`, never from host
+//! randomness, so the same seed reproduces the same crash schedule — and
+//! therefore bit-identical virtual-time results — on every run.
+//!
+//! The plan itself is pure data. The aggregate store polls it at the top
+//! of each timed operation (`AggregateStore::poll_faults`) and applies
+//! due events to the fleet: benefactor liveness, `netsim` link faults,
+//! and `devices` SSD derating.
+
+use simcore::rng::child_seed;
+use simcore::VTime;
+
+/// One thing that goes wrong (or recovers) in the cluster.
+///
+/// Benefactors are addressed by their registration index (the store's
+/// `BenefactorId` order); link and SSD faults by cluster node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// Benefactor process dies: its chunks become unreachable.
+    BenefactorCrash { benefactor: usize },
+    /// The benefactor comes back with its SSD contents intact; the store
+    /// reconciles any chunks that were re-homed while it was down.
+    BenefactorRecover { benefactor: usize },
+    /// Derate a node's network attachment.
+    LinkDegrade {
+        node: usize,
+        bw_divisor: f64,
+        extra_latency: VTime,
+    },
+    /// Restore a node's network attachment to nominal.
+    LinkRestore { node: usize },
+    /// Cut a node off the fabric entirely.
+    Partition { node: usize },
+    /// Reconnect a partitioned node.
+    Heal { node: usize },
+    /// A node's SSD serves `factor`× slower (write-amplification storms,
+    /// background GC, failing media).
+    SsdSlowdown { node: usize, factor: f64 },
+    /// The node's SSD returns to nominal speed.
+    SsdRestore { node: usize },
+}
+
+/// A [`FaultEvent`] scheduled at a virtual time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimedFault {
+    pub at: VTime,
+    pub event: FaultEvent,
+}
+
+/// A time-sorted schedule of faults, consumed front to back.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    events: Vec<TimedFault>,
+    cursor: usize,
+}
+
+impl FaultPlan {
+    /// Build a plan from events in any order (stable-sorted by time, so
+    /// same-instant events keep their insertion order).
+    pub fn new(mut events: Vec<TimedFault>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultPlan { events, cursor: 0 }
+    }
+
+    /// Remove and return every event due at or before `now`, in order.
+    pub fn due(&mut self, now: VTime) -> Vec<TimedFault> {
+        let start = self.cursor;
+        while self.cursor < self.events.len() && self.events[self.cursor].at <= now {
+            self.cursor += 1;
+        }
+        self.events[start..self.cursor].to_vec()
+    }
+
+    /// When the next pending event fires, if any.
+    pub fn next_at(&self) -> Option<VTime> {
+        self.events.get(self.cursor).map(|e| e.at)
+    }
+
+    /// Events not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+
+    /// The full schedule (delivered and pending), for reports.
+    pub fn events(&self) -> &[TimedFault] {
+        &self.events
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Builder for fault plans, including seed-stable randomized schedules.
+#[derive(Clone, Debug)]
+pub struct FaultPlanBuilder {
+    seed: u64,
+    streams: u64,
+    events: Vec<TimedFault>,
+}
+
+impl FaultPlanBuilder {
+    pub fn new(seed: u64) -> Self {
+        FaultPlanBuilder {
+            seed,
+            streams: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Next value from the builder's deterministic choice stream.
+    fn draw(&mut self) -> u64 {
+        let v = child_seed(self.seed, self.streams);
+        self.streams += 1;
+        v
+    }
+
+    pub fn at(mut self, at: VTime, event: FaultEvent) -> Self {
+        self.events.push(TimedFault { at, event });
+        self
+    }
+
+    pub fn crash(self, at: VTime, benefactor: usize) -> Self {
+        self.at(at, FaultEvent::BenefactorCrash { benefactor })
+    }
+
+    pub fn recover(self, at: VTime, benefactor: usize) -> Self {
+        self.at(at, FaultEvent::BenefactorRecover { benefactor })
+    }
+
+    pub fn degrade_link(
+        self,
+        at: VTime,
+        node: usize,
+        bw_divisor: f64,
+        extra_latency: VTime,
+    ) -> Self {
+        self.at(
+            at,
+            FaultEvent::LinkDegrade {
+                node,
+                bw_divisor,
+                extra_latency,
+            },
+        )
+    }
+
+    pub fn restore_link(self, at: VTime, node: usize) -> Self {
+        self.at(at, FaultEvent::LinkRestore { node })
+    }
+
+    pub fn partition(self, at: VTime, node: usize) -> Self {
+        self.at(at, FaultEvent::Partition { node })
+    }
+
+    pub fn heal(self, at: VTime, node: usize) -> Self {
+        self.at(at, FaultEvent::Heal { node })
+    }
+
+    pub fn slow_ssd(self, at: VTime, node: usize, factor: f64) -> Self {
+        self.at(at, FaultEvent::SsdSlowdown { node, factor })
+    }
+
+    pub fn restore_ssd(self, at: VTime, node: usize) -> Self {
+        self.at(at, FaultEvent::SsdRestore { node })
+    }
+
+    /// Schedule `count` benefactor crashes at seed-derived times inside
+    /// `[window_start, window_end)`, each hitting a seed-derived victim
+    /// out of `benefactors`. With `mttr` set, every victim recovers that
+    /// long after its crash. Victims are drawn without replacement until
+    /// the pool runs out (`count` is capped at `benefactors`).
+    pub fn random_crashes(
+        mut self,
+        count: usize,
+        benefactors: usize,
+        window_start: VTime,
+        window_end: VTime,
+        mttr: Option<VTime>,
+    ) -> Self {
+        assert!(window_end > window_start, "empty crash window");
+        assert!(benefactors > 0, "no benefactors to crash");
+        let span = (window_end - window_start).as_nanos();
+        let mut pool: Vec<usize> = (0..benefactors).collect();
+        for _ in 0..count.min(benefactors) {
+            let victim = pool.remove((self.draw() % pool.len() as u64) as usize);
+            let at = window_start + VTime::from_nanos(self.draw() % span);
+            self = self.crash(at, victim);
+            if let Some(mttr) = mttr {
+                self = self.recover(at + mttr, victim);
+            }
+        }
+        self
+    }
+
+    pub fn build(self) -> FaultPlan {
+        FaultPlan::new(self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_sorts_and_drains_in_order() {
+        let mut plan = FaultPlanBuilder::new(1)
+            .crash(VTime::from_secs(2), 0)
+            .recover(VTime::from_secs(5), 0)
+            .crash(VTime::from_secs(1), 1)
+            .build();
+        assert_eq!(plan.remaining(), 3);
+        assert_eq!(plan.next_at(), Some(VTime::from_secs(1)));
+        let due = plan.due(VTime::from_secs(2));
+        assert_eq!(due.len(), 2);
+        assert_eq!(due[0].event, FaultEvent::BenefactorCrash { benefactor: 1 });
+        assert_eq!(due[1].event, FaultEvent::BenefactorCrash { benefactor: 0 });
+        assert!(plan.due(VTime::from_secs(2)).is_empty(), "no redelivery");
+        assert_eq!(plan.remaining(), 1);
+        assert_eq!(plan.due(VTime::from_secs(10)).len(), 1);
+        assert_eq!(plan.next_at(), None);
+    }
+
+    #[test]
+    fn same_instant_events_keep_insertion_order() {
+        let t = VTime::from_secs(1);
+        let mut plan = FaultPlanBuilder::new(0).crash(t, 3).recover(t, 3).build();
+        let due = plan.due(t);
+        assert_eq!(due[0].event, FaultEvent::BenefactorCrash { benefactor: 3 });
+        assert_eq!(
+            due[1].event,
+            FaultEvent::BenefactorRecover { benefactor: 3 }
+        );
+    }
+
+    #[test]
+    fn random_crashes_are_seed_stable_and_distinct() {
+        let mk = |seed| {
+            FaultPlanBuilder::new(seed)
+                .random_crashes(
+                    3,
+                    8,
+                    VTime::from_secs(1),
+                    VTime::from_secs(9),
+                    Some(VTime::from_secs(2)),
+                )
+                .build()
+        };
+        let a = mk(42);
+        let b = mk(42);
+        assert_eq!(a.events(), b.events(), "same seed, same plan");
+        let c = mk(43);
+        assert_ne!(a.events(), c.events(), "different seed, different plan");
+
+        let victims: Vec<usize> = a
+            .events()
+            .iter()
+            .filter_map(|e| match e.event {
+                FaultEvent::BenefactorCrash { benefactor } => Some(benefactor),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(victims.len(), 3);
+        let mut dedup = victims.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3, "victims drawn without replacement");
+        // Each crash has a matching recovery 2 s later.
+        let recoveries = a
+            .events()
+            .iter()
+            .filter(|e| matches!(e.event, FaultEvent::BenefactorRecover { .. }))
+            .count();
+        assert_eq!(recoveries, 3);
+    }
+}

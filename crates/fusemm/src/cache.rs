@@ -201,7 +201,10 @@ mod tests {
         c.insert((FileId(1), 0), data(), VTime::ZERO);
         c.insert((FileId(2), 0), data(), VTime::ZERO);
         c.insert((FileId(1), 3), data(), VTime::ZERO);
-        assert_eq!(c.keys_of_file(FileId(1)), vec![(FileId(1), 0), (FileId(1), 3)]);
+        assert_eq!(
+            c.keys_of_file(FileId(1)),
+            vec![(FileId(1), 0), (FileId(1), 3)]
+        );
         assert!(c.dirty_keys().is_empty());
         c.peek_mut(&(FileId(1), 3)).unwrap().dirty.mark(0);
         assert_eq!(c.dirty_keys(), vec![(FileId(1), 3)]);

@@ -305,9 +305,7 @@ impl Mount {
                 let entry = st.cache.peek_mut(&(file, idx)).expect("just ensured");
                 entry.data[within as usize..within as usize + take]
                     .copy_from_slice(&data[pos..pos + take]);
-                entry
-                    .dirty
-                    .mark_range(within, within + take as u64, ps);
+                entry.dirty.mark_range(within, within + take as u64, ps);
             }
             pos += take;
         }
@@ -362,9 +360,7 @@ impl Mount {
             let runs = entry.dirty.runs(self.page_size());
             let updates = runs
                 .iter()
-                .map(|&(off, len)| {
-                    (off, entry.data[off as usize..(off + len) as usize].to_vec())
-                })
+                .map(|&(off, len)| (off, entry.data[off as usize..(off + len) as usize].to_vec()))
                 .collect();
             entry.dirty.clear();
             updates
@@ -404,9 +400,7 @@ impl Mount {
         t = self.make_room(t)?;
         let (t2, payload) = self.store.fetch_chunk(t, self.node, file, idx)?;
         let data = match payload {
-            ChunkPayload::Zeros => {
-                vec![0u8; self.chunk_size() as usize].into_boxed_slice()
-            }
+            ChunkPayload::Zeros => vec![0u8; self.chunk_size() as usize].into_boxed_slice(),
             ChunkPayload::Data(d) => d,
         };
         let mut st = self.state.lock();
@@ -474,7 +468,11 @@ impl Mount {
                 // never force synchronous dirty write-back.
                 if st.cache.is_full() {
                     let victim = st.cache.lru_key().expect("full");
-                    let dirty = st.cache.peek(&victim).map(|e| e.dirty.any()).unwrap_or(false);
+                    let dirty = st
+                        .cache
+                        .peek(&victim)
+                        .map(|e| e.dirty.any())
+                        .unwrap_or(false);
                     if dirty {
                         return Ok(());
                     }

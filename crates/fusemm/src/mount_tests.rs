@@ -37,7 +37,7 @@ fn mk_file(m: &Mount, name: &str, size: u64) -> FileId {
         VTime::ZERO,
         name,
         size,
-        StripeSpec::All,
+        StripeSpec::all(),
         PlacementPolicy::RoundRobin,
     )
     .unwrap()
@@ -200,7 +200,11 @@ fn sequential_read_triggers_readahead() {
     // Third chunk is already resident: hit.
     let misses = stats2.get("fuse.misses");
     m3.read(t2, f, 2 * CHUNK, &mut buf).unwrap();
-    assert_eq!(stats2.get("fuse.misses"), misses, "prefetched chunk is a hit");
+    assert_eq!(
+        stats2.get("fuse.misses"),
+        misses,
+        "prefetched chunk is a hit"
+    );
 }
 
 #[test]
@@ -257,6 +261,37 @@ fn request_bytes_counted_at_page_granularity() {
     let mut b2 = [0u8; 2];
     m.read(VTime::ZERO, f, 4095, &mut b2).unwrap();
     assert_eq!(stats.get("fuse.read_req_bytes"), 4096 + 8192);
+}
+
+#[test]
+fn failover_is_transparent_to_the_mount() {
+    // A replicated file keeps serving reads through the FUSE layer after
+    // its primary benefactor dies — no error surfaces, only the
+    // store-level failover counters move.
+    let (m, stats) = world(small_cache());
+    let f = m
+        .create(
+            VTime::ZERO,
+            "/v",
+            4 * CHUNK,
+            StripeSpec::all().with_replicas(2),
+            PlacementPolicy::RoundRobin,
+        )
+        .unwrap()
+        .1;
+    let data: Vec<u8> = (0..(2 * CHUNK as usize)).map(|i| (i % 251) as u8).collect();
+    let t = m.write(VTime::ZERO, f, 0, &data).unwrap();
+    let t = m.flush_file(t, f).unwrap();
+
+    m.store()
+        .set_benefactor_alive(chunkstore::BenefactorId(0), false);
+    // A cold mount forces every read through the (degraded) store.
+    let m2 = Mount::new(m.store().clone(), 2, small_cache(), &stats);
+    let mut out = vec![0u8; data.len()];
+    m2.read(t, f, 0, &mut out).unwrap();
+    assert_eq!(out, data);
+    assert!(stats.get("store.failovers") > 0);
+    assert!(stats.get("store.degraded_reads") > 0);
 }
 
 #[test]

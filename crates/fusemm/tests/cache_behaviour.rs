@@ -25,7 +25,7 @@ fn mk_file(m: &Mount, chunks: u64) -> FileId {
         VTime::ZERO,
         "/v",
         chunks * CHUNK,
-        StripeSpec::All,
+        StripeSpec::all(),
         PlacementPolicy::RoundRobin,
     )
     .unwrap()
@@ -48,7 +48,8 @@ fn strided_read_correctness_across_chunks() {
     // Runs of 100 bytes every 100_000 bytes: crosses chunk boundaries.
     let (run, stride, count) = (100u64, 100_000u64, 15u64);
     let mut out = vec![0u8; (run * count) as usize];
-    m.read_strided(t, f, 50, run, stride, count, &mut out).unwrap();
+    m.read_strided(t, f, 50, run, stride, count, &mut out)
+        .unwrap();
     for r in 0..count {
         for b in 0..run {
             let abs = (50 + r * stride + b) as usize;
@@ -115,8 +116,8 @@ fn prefetched_chunk_hit_waits_for_arrival() {
     let mut buf = vec![0u8; CHUNK as usize];
     let t1 = m2.read(t, f, 0, &mut buf).unwrap();
     let t2 = m2.read(t1, f, CHUNK, &mut buf).unwrap(); // issues prefetch of chunk 2
-    // An *immediate* access to the prefetched chunk cannot complete before
-    // the prefetch's own SSD time.
+                                                       // An *immediate* access to the prefetched chunk cannot complete before
+                                                       // the prefetch's own SSD time.
     let t3 = m2.read(t2, f, 2 * CHUNK, &mut buf).unwrap();
     assert!(t3 >= t2, "prefetch hit still respects ready_at");
 }
@@ -158,7 +159,8 @@ fn write_only_chunks_never_fetch_data() {
     let (m, stats) = world(FuseConfig::default());
     let f = mk_file(&m, 4);
     // Writing into unmaterialized space fetches only zero-fill metadata.
-    m.write(VTime::ZERO, f, 0, &vec![1u8; (2 * CHUNK) as usize]).unwrap();
+    m.write(VTime::ZERO, f, 0, &vec![1u8; (2 * CHUNK) as usize])
+        .unwrap();
     assert_eq!(stats.get("store.bytes_to_clients"), 0);
     assert_eq!(stats.get("store.zero_fills"), 2);
 }

@@ -13,7 +13,9 @@
 //! Intra-node "messages" (rank to rank on one host) bypass the NIC and
 //! cost one memcpy at DRAM speed, which the caller charges separately.
 
+use parking_lot::Mutex;
 use simcore::{Bandwidth, Counter, Resource, StatsRegistry, VTime};
+use std::sync::Arc;
 
 /// Interconnect parameters.
 #[derive(Clone, Copy, Debug)]
@@ -50,6 +52,36 @@ struct Nic {
     rx: Resource,
 }
 
+/// Fault-injection state of one node's network attachment. Degradation
+/// applies to every message the node sends or receives; a partitioned
+/// node is unreachable (callers check [`Network::reachable`] before
+/// attempting delivery — the fabric itself cannot refuse a message).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFault {
+    /// Divide the node's link bandwidth by this factor (≥ 1.0).
+    pub bw_divisor: f64,
+    /// Extra one-way latency added to the node's messages.
+    pub extra_latency: VTime,
+    /// The node is cut off from the fabric entirely.
+    pub partitioned: bool,
+}
+
+impl Default for LinkFault {
+    fn default() -> Self {
+        LinkFault {
+            bw_divisor: 1.0,
+            extra_latency: VTime::ZERO,
+            partitioned: false,
+        }
+    }
+}
+
+impl LinkFault {
+    fn is_neutral(&self) -> bool {
+        self.bw_divisor == 1.0 && self.extra_latency == VTime::ZERO && !self.partitioned
+    }
+}
+
 /// Result of a simulated message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Delivery {
@@ -65,6 +97,8 @@ pub struct Delivery {
 pub struct Network {
     cfg: NetConfig,
     nics: Vec<Nic>,
+    /// Per-node fault-injection state, shared across clones of the fabric.
+    faults: Arc<Mutex<Vec<LinkFault>>>,
     bytes: Counter,
     messages: Counter,
 }
@@ -79,9 +113,51 @@ impl Network {
                     rx: Resource::new(format!("net.n{i}.rx")),
                 })
                 .collect(),
+            faults: Arc::new(Mutex::new(vec![LinkFault::default(); nodes])),
             bytes: stats.counter("net.bytes"),
             messages: stats.counter("net.messages"),
         }
+    }
+
+    /// Install a fault on `node`'s attachment (replaces any prior fault).
+    pub fn set_link_fault(&self, node: usize, fault: LinkFault) {
+        self.faults.lock()[node] = fault;
+    }
+
+    /// Restore `node`'s attachment to nominal behavior.
+    pub fn clear_link_fault(&self, node: usize) {
+        self.faults.lock()[node] = LinkFault::default();
+    }
+
+    /// Current fault state of `node`'s attachment.
+    pub fn link_fault(&self, node: usize) -> LinkFault {
+        self.faults.lock()[node]
+    }
+
+    /// Whether a message from `from` can reach `to` at all. Loopback is
+    /// always reachable; otherwise both endpoints must be un-partitioned.
+    pub fn reachable(&self, from: usize, to: usize) -> bool {
+        if from == to {
+            return true;
+        }
+        let faults = self.faults.lock();
+        !faults[from].partitioned && !faults[to].partitioned
+    }
+
+    /// Effective (bandwidth, one-way latency) between two endpoints under
+    /// the current faults. Exact nominal values when both are healthy, so
+    /// fault-free runs keep bit-identical timing.
+    fn effective(&self, from: usize, to: usize) -> (Bandwidth, VTime) {
+        let faults = self.faults.lock();
+        let (a, b) = (faults[from], faults[to]);
+        if a.is_neutral() && b.is_neutral() {
+            return (self.cfg.link_bw, self.cfg.latency);
+        }
+        let div = a.bw_divisor.max(b.bw_divisor).max(1.0);
+        (
+            self.cfg.link_bw.scaled(1.0 / div),
+            self.cfg.latency + a.extra_latency + b.extra_latency,
+        )
     }
 
     pub fn config(&self) -> &NetConfig {
@@ -104,22 +180,21 @@ impl Network {
         }
         self.bytes.add(bytes);
         self.messages.inc();
+        let (bw, latency) = self.effective(from, to);
         if bytes <= self.cfg.ctrl_threshold {
-            let ser = self.cfg.link_bw.time_for(bytes);
+            let ser = bw.time_for(bytes);
             return Delivery {
                 sent: t + ser,
-                arrived: t + ser + self.cfg.latency,
+                arrived: t + ser + latency,
             };
         }
-        let tx = self.nics[from]
-            .tx
-            .transfer_at(t, bytes, self.cfg.link_bw, VTime::ZERO);
+        let tx = self.nics[from].tx.transfer_at(t, bytes, bw, VTime::ZERO);
         // Cut-through delivery: the receive side starts draining as soon as
         // the first bytes arrive; at equal rates the RX busy period equals
         // the TX one shifted by the latency, and queues if the RX NIC is
         // still busy with an earlier message.
         let rx = self.nics[to].rx.acquire_at(
-            tx.start + self.cfg.latency,
+            tx.start + latency,
             tx.end - tx.start, // same serialization time at equal link rates
         );
         Delivery {
@@ -223,6 +298,49 @@ mod tests {
         let d2 = net.transfer_at(VTime::ZERO, 1, 0, 250_000_000);
         // Opposite directions do not contend.
         assert_eq!(d1.arrived, d2.arrived);
+    }
+
+    #[test]
+    fn degraded_link_slows_and_restores_exactly() {
+        let net = net(2);
+        let d0 = net.transfer_at(VTime::ZERO, 0, 1, 250_000_000);
+        let span0 = d0.arrived - VTime::ZERO;
+        net.set_link_fault(
+            1,
+            LinkFault {
+                bw_divisor: 2.0,
+                extra_latency: VTime::from_micros(100),
+                partitioned: false,
+            },
+        );
+        let d1 = net.transfer_at(d0.arrived, 0, 1, 250_000_000);
+        // Half bandwidth: 2 s serialize; +100 µs extra latency.
+        assert_eq!(
+            d1.arrived - d0.arrived,
+            VTime::from_secs(2) + VTime::from_micros(150)
+        );
+        net.clear_link_fault(1);
+        let d2 = net.transfer_at(d1.arrived, 0, 1, 250_000_000);
+        assert_eq!(d2.arrived - d1.arrived, span0, "nominal timing restored");
+    }
+
+    #[test]
+    fn partition_observed_via_reachable() {
+        let net = net(3);
+        assert!(net.reachable(0, 1));
+        net.set_link_fault(
+            1,
+            LinkFault {
+                partitioned: true,
+                ..LinkFault::default()
+            },
+        );
+        assert!(!net.reachable(0, 1));
+        assert!(!net.reachable(1, 2));
+        assert!(net.reachable(0, 2));
+        assert!(net.reachable(1, 1), "loopback survives partition");
+        net.clear_link_fault(1);
+        assert!(net.reachable(0, 1));
     }
 
     #[test]

@@ -16,7 +16,11 @@ fn control_messages_do_not_occupy_queues() {
     assert_eq!(bulk.sent, VTime::from_secs(1));
     // A 256-byte RPC issued during the bulk flow is not stuck behind it.
     let rpc = net.transfer_at(VTime::from_millis(1), 0, 1, 256);
-    assert!(rpc.arrived < VTime::from_millis(2), "rpc at {:?}", rpc.arrived);
+    assert!(
+        rpc.arrived < VTime::from_millis(2),
+        "rpc at {:?}",
+        rpc.arrived
+    );
     // But a second bulk transfer is.
     let bulk2 = net.transfer_at(VTime::from_millis(1), 0, 1, 250_000_000);
     assert_eq!(bulk2.sent, VTime::from_secs(2));

@@ -17,7 +17,7 @@
 //! * restart helpers that rebuild state from a checkpoint.
 
 use crate::pod::Pod;
-use crate::vec::{NvmVec, NvmVariable};
+use crate::vec::{NvmVariable, NvmVec};
 use chunkstore::{FileId, PlacementPolicy, Result, StoreError, StripeSpec};
 use fusemm::Mount;
 use simcore::{Counter, ProcCtx, StatsRegistry};
@@ -33,7 +33,7 @@ pub struct AllocOptions {
 impl Default for AllocOptions {
     fn default() -> Self {
         AllocOptions {
-            stripe: StripeSpec::All,
+            stripe: StripeSpec::all(),
             placement: PlacementPolicy::RoundRobin,
         }
     }
@@ -115,13 +115,9 @@ impl NvmClient {
         let name = self.auto_name();
         let bytes = len as u64 * std::mem::size_of::<T>() as u64;
         ctx.yield_until_min();
-        let (t, file) = self.mount.create(
-            ctx.now(),
-            &name,
-            bytes,
-            opts.stripe.clone(),
-            opts.placement,
-        )?;
+        let (t, file) =
+            self.mount
+                .create(ctx.now(), &name, bytes, opts.stripe.clone(), opts.placement)?;
         ctx.advance_to(t);
         self.mallocs.inc();
         Ok(NvmVec::new(
@@ -158,31 +154,29 @@ impl NvmClient {
         let name = format!("/shared/{key}");
         let bytes = len as u64 * std::mem::size_of::<T>() as u64;
         ctx.yield_until_min();
-        let file = match self.mount.create(
-            ctx.now(),
-            &name,
-            bytes,
-            opts.stripe.clone(),
-            opts.placement,
-        ) {
-            Ok((t, file)) => {
-                ctx.advance_to(t);
-                self.mallocs.inc();
-                file
-            }
-            Err(StoreError::FileExists(_)) => {
-                let (t, found) = self.mount.open(ctx.now(), &name);
-                ctx.advance_to(t);
-                let file = found.ok_or(StoreError::NoSuchFile)?;
-                let existing = self.mount.file_size(file)?;
-                assert_eq!(
-                    existing, bytes,
-                    "shared variable {key} mapped with a different size"
-                );
-                file
-            }
-            Err(e) => return Err(e),
-        };
+        let file =
+            match self
+                .mount
+                .create(ctx.now(), &name, bytes, opts.stripe.clone(), opts.placement)
+            {
+                Ok((t, file)) => {
+                    ctx.advance_to(t);
+                    self.mallocs.inc();
+                    file
+                }
+                Err(StoreError::FileExists(_)) => {
+                    let (t, found) = self.mount.open(ctx.now(), &name);
+                    ctx.advance_to(t);
+                    let file = found.ok_or(StoreError::NoSuchFile)?;
+                    let existing = self.mount.file_size(file)?;
+                    assert_eq!(
+                        existing, bytes,
+                        "shared variable {key} mapped with a different size"
+                    );
+                    file
+                }
+                Err(e) => return Err(e),
+            };
         Ok(NvmVec::new(
             self.mount.clone(),
             file,
@@ -272,7 +266,10 @@ impl NvmClient {
         let mut t = ctx.now();
 
         // 1. Create the restart file sized for the DRAM image.
-        let (t1, ckpt_file) = self.mount.store().create_file(t, self.mount.node(), &name)?;
+        let (t1, ckpt_file) = self
+            .mount
+            .store()
+            .create_file(t, self.mount.node(), &name)?;
         t = t1;
         if !dram_state.is_empty() {
             t = self.mount.store().fallocate(
@@ -323,10 +320,13 @@ impl NvmClient {
         let mut buf = vec![0u8; ckpt.dram_len as usize];
         if !buf.is_empty() {
             ctx.yield_until_min();
-            let t =
-                self.mount
-                    .store()
-                    .read_span(ctx.now(), self.mount.node(), ckpt.file, 0, &mut buf)?;
+            let t = self.mount.store().read_span(
+                ctx.now(),
+                self.mount.node(),
+                ckpt.file,
+                0,
+                &mut buf,
+            )?;
             ctx.advance_to(t);
         }
         Ok(buf)
@@ -367,7 +367,10 @@ impl NvmClient {
     /// Delete a checkpoint file (releases its chunk references).
     pub fn delete_checkpoint(&self, ctx: &mut ProcCtx, ckpt: &Checkpoint) -> Result<()> {
         ctx.yield_until_min();
-        let t = self.mount.store().delete(ctx.now(), self.mount.node(), ckpt.file)?;
+        let t = self
+            .mount
+            .store()
+            .delete(ctx.now(), self.mount.node(), ckpt.file)?;
         ctx.advance_to(t);
         Ok(())
     }
@@ -400,7 +403,13 @@ impl NvmClient {
         let mut done = t;
         while off < total {
             let take = chunk.min(total - off);
-            let t2 = store.read_span(t, self.mount.node(), ckpt.file, off, &mut buf[..take as usize])?;
+            let t2 = store.read_span(
+                t,
+                self.mount.node(),
+                ckpt.file,
+                off,
+                &mut buf[..take as usize],
+            )?;
             let g = pfs.write_at(t2, take);
             done = g.end;
             t = t2; // pipeline: next read can start while the PFS drains

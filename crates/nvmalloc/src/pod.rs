@@ -36,9 +36,7 @@ pub fn bytes_of<T: Pod>(s: &[T]) -> &[u8] {
 /// View a mutable slice of `T` as raw bytes.
 pub fn bytes_of_mut<T: Pod>(s: &mut [T]) -> &mut [u8] {
     // SAFETY: any byte pattern written is a valid T per the Pod contract.
-    unsafe {
-        std::slice::from_raw_parts_mut(s.as_mut_ptr().cast::<u8>(), std::mem::size_of_val(s))
-    }
+    unsafe { std::slice::from_raw_parts_mut(s.as_mut_ptr().cast::<u8>(), std::mem::size_of_val(s)) }
 }
 
 #[cfg(test)]

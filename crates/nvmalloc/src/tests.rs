@@ -179,7 +179,10 @@ fn checkpoint_links_rather_than_copies() {
         let from_clients_before = stats.get("store.bytes_from_clients");
         let _ckpt = c.ssdcheckpoint(ctx, "app", &[], &[&v]).unwrap();
         // Linking moved no variable data and allocated no new chunks.
-        assert_eq!(c.mount().store().manager().physical_bytes(), physical_before);
+        assert_eq!(
+            c.mount().store().manager().physical_bytes(),
+            physical_before
+        );
         assert_eq!(stats.get("store.bytes_from_clients"), from_clients_before);
     });
 }
@@ -190,7 +193,8 @@ fn incremental_checkpoint_shares_unmodified_chunks() {
     let c = client(&w, 2, 0);
     run1(move |ctx| {
         let v: NvmVec<u8> = c.ssdmalloc(ctx, (8 * CHUNK) as usize).unwrap();
-        v.write_slice(ctx, 0, &vec![1u8; (8 * CHUNK) as usize]).unwrap();
+        v.write_slice(ctx, 0, &vec![1u8; (8 * CHUNK) as usize])
+            .unwrap();
         v.flush(ctx).unwrap();
         let base = c.mount().store().manager().physical_bytes();
         assert_eq!(base, 8 * CHUNK);
@@ -247,7 +251,8 @@ fn delete_checkpoint_releases_chunks() {
     let c = client(&w, 1, 0);
     run1(move |ctx| {
         let v: NvmVec<u8> = c.ssdmalloc(ctx, (2 * CHUNK) as usize).unwrap();
-        v.write_slice(ctx, 0, &vec![1u8; (2 * CHUNK) as usize]).unwrap();
+        v.write_slice(ctx, 0, &vec![1u8; (2 * CHUNK) as usize])
+            .unwrap();
         v.flush(ctx).unwrap();
         let ckpt = c.ssdcheckpoint(ctx, "app", &[], &[&v]).unwrap();
         c.ssdfree(ctx, v).unwrap();
@@ -264,7 +269,7 @@ fn explicit_stripe_options() {
     let c = client(&w, 4, 0);
     run1(move |ctx| {
         let opts = AllocOptions {
-            stripe: StripeSpec::Count(2),
+            stripe: StripeSpec::count(2),
             ..AllocOptions::default()
         };
         let v: NvmVec<u8> = c.ssdmalloc_opts(ctx, (4 * CHUNK) as usize, &opts).unwrap();

@@ -35,7 +35,8 @@ fn open_var_finds_persistent_data() {
     let consumer = client(&store, &stats, 1);
     run1(move |ctx| {
         let v: NvmVec<u64> = producer.ssdmalloc_shared(ctx, "wf", 1000).unwrap();
-        v.write_slice(ctx, 0, &(0..1000u64).collect::<Vec<_>>()).unwrap();
+        v.write_slice(ctx, 0, &(0..1000u64).collect::<Vec<_>>())
+            .unwrap();
         v.flush(ctx).unwrap();
         drop(v); // producer's handle goes away; the data does not
 
@@ -229,9 +230,20 @@ fn variable_lifetime_expires_through_manager_sweep() {
             .set_lifetime(v.file_id(), Some(simcore::VTime::from_secs(100)))
             .unwrap();
         // The manager's housekeeping reclaims it after expiry.
-        assert_eq!(store2.manager().expire_files(simcore::VTime::from_secs(99)), 0);
-        assert_eq!(store2.manager().expire_files(simcore::VTime::from_secs(100)), 1);
+        assert_eq!(
+            store2.manager().expire_files(simcore::VTime::from_secs(99)),
+            0
+        );
+        assert_eq!(
+            store2
+                .manager()
+                .expire_files(simcore::VTime::from_secs(100)),
+            1
+        );
         assert_eq!(store2.manager().physical_bytes(), 0);
-        assert!(v.get(ctx, 0).is_err() || v.get(ctx, 0).is_ok(), "cache may still serve");
+        assert!(
+            v.get(ctx, 0).is_err() || v.get(ctx, 0).is_ok(),
+            "cache may still serve"
+        );
     });
 }

@@ -214,10 +214,7 @@ impl ProcCtx {
                     // found no ready process before we became ready), claim
                     // the baton ourselves when we are the minimum.
                     if matches!(sched.states[self.id], State::Ready(_))
-                        && !sched
-                            .states
-                            .iter()
-                            .any(|s| matches!(s, State::Running(_)))
+                        && !sched.states.iter().any(|s| matches!(s, State::Running(_)))
                     {
                         if let Some((next, t)) = sched.min_ready() {
                             if next == self.id {
@@ -319,7 +316,8 @@ impl Engine {
                     p.downcast_ref::<String>()
                         .map(|s| s.contains("engine poisoned"))
                         .or_else(|| {
-                            p.downcast_ref::<&str>().map(|s| s.contains("engine poisoned"))
+                            p.downcast_ref::<&str>()
+                                .map(|s| s.contains("engine poisoned"))
                         })
                         .unwrap_or(false)
                 };

@@ -75,11 +75,7 @@ impl StatsRegistry {
 
     /// Current value of a counter (0 if it does not exist yet).
     pub fn get(&self, name: &str) -> u64 {
-        self.counters
-            .lock()
-            .get(name)
-            .map(|c| c.get())
-            .unwrap_or(0)
+        self.counters.lock().get(name).map(|c| c.get()).unwrap_or(0)
     }
 
     /// Point-in-time copy of every counter value.

@@ -22,7 +22,7 @@ pub mod randwrite;
 pub mod stream;
 
 pub use matmul::{
-    AccessOrder, BPlacement, ComputeTraffic, MmConfig, MmInfeasible, MmReport, MmStages, run_mm,
+    run_mm, AccessOrder, BPlacement, ComputeTraffic, MmConfig, MmInfeasible, MmReport, MmStages,
 };
 pub use qsort::{run_sort_dram_two_pass, run_sort_hybrid, SortConfig, SortReport};
 pub use randwrite::{run_randwrite, RandWriteConfig, RandWriteReport};

@@ -95,7 +95,10 @@ pub struct MmStages {
 
 impl MmStages {
     pub fn total(&self) -> VTime {
-        self.input_split_a + self.input_b + self.broadcast_b + self.computing
+        self.input_split_a
+            + self.input_b
+            + self.broadcast_b
+            + self.computing
             + self.collect_output_c
     }
 }
@@ -208,7 +211,10 @@ fn gen_matrix(seed: u64, which: u64, n: usize) -> Arc<Vec<f64>> {
 pub fn run_mm(cluster: &Cluster, cfg: &JobConfig, mm: &MmConfig) -> Result<MmReport, MmInfeasible> {
     let p = cfg.ranks();
     let n = mm.n;
-    assert!(n.is_multiple_of(p), "matrix rows must divide over {p} ranks");
+    assert!(
+        n.is_multiple_of(p),
+        "matrix rows must divide over {p} ranks"
+    );
     let rows_local = n / p;
 
     // Feasibility: A_local + C_local everywhere, plus B when DRAM-placed.
@@ -319,7 +325,10 @@ fn run_rank(
         }
         BPlacement::NvmIndividual => {
             let b: Arc<Vec<f64>> = env.comm.bcast(ctx, rank, 0, b_full.clone());
-            let v = env.client.ssdmalloc::<f64>(ctx, n * n).expect("ssdmalloc B");
+            let v = env
+                .client
+                .ssdmalloc::<f64>(ctx, n * n)
+                .expect("ssdmalloc B");
             v.write_slice(ctx, 0, &b).expect("store B");
             v.flush(ctx).expect("flush B");
             BSource::Nvm(v)

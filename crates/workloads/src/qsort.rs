@@ -134,7 +134,10 @@ fn exchange_with_splitters(
     // p-way merge of sorted runs: charge m·log2(p).
     let total: usize = received.iter().map(Vec::len).sum();
     if total > 0 {
-        env.compute(ctx, SORT_OPS_PER_ELEM_LOG * total as f64 * (p as f64).log2());
+        env.compute(
+            ctx,
+            SORT_OPS_PER_ELEM_LOG * total as f64 * (p as f64).log2(),
+        );
     }
     let mut merged: Vec<u64> = received.into_iter().flatten().collect();
     merged.sort_unstable(); // host-side; virtual cost charged above
@@ -164,9 +167,12 @@ fn verify_global(ctx: &mut ProcCtx, env: &JobEnv, part: &[u64], checksum: u64) -
         .fold(0u64, |acc, &x| acc.wrapping_add(x))
         .wrapping_sub(checksum);
     // Gather (lo, hi, len, sum-delta) at root and check the global order.
-    let stats = env
-        .comm
-        .gather(ctx, rank_of(env), 0, vec![lo, hi, part.len() as u64, my_sum]);
+    let stats = env.comm.gather(
+        ctx,
+        rank_of(env),
+        0,
+        vec![lo, hi, part.len() as u64, my_sum],
+    );
     let ok_root = stats.map(|rows| {
         let mut ok = true;
         let mut prev_hi = 0u64;
@@ -185,7 +191,9 @@ fn verify_global(ctx: &mut ProcCtx, env: &JobEnv, part: &[u64], checksum: u64) -
         }
         ok && sum_delta == 0
     });
-    let ok_global = env.comm.bcast(ctx, rank_of(env), 0, ok_root.map(|b| vec![b as u64]));
+    let ok_global = env
+        .comm
+        .bcast(ctx, rank_of(env), 0, ok_root.map(|b| vec![b as u64]));
     sorted_locally && ok_global[0] == 1
 }
 
@@ -206,11 +214,13 @@ pub fn run_sort_hybrid(cluster: &Cluster, cfg: &JobConfig, scfg: &SortConfig) ->
         env.pfs_read(ctx, (my_total * 8) as u64);
         let data = gen_data(scfg.seed, env.rank, my_total);
         let checksum = data.iter().fold(0u64, |a, &x| a.wrapping_add(x));
-        env.reserve_dram((my_dram * 8) as u64).expect("DRAM part fits");
+        env.reserve_dram((my_dram * 8) as u64)
+            .expect("DRAM part fits");
         let mut dram_part = data[..my_dram].to_vec();
         let nvm_var: Option<NvmVec<u64>> = if my_nvm > 0 {
             let v = env.client.ssdmalloc::<u64>(ctx, my_nvm).expect("ssdmalloc");
-            v.write_slice(ctx, 0, &data[my_dram..]).expect("load NVM part");
+            v.write_slice(ctx, 0, &data[my_dram..])
+                .expect("load NVM part");
             v.flush(ctx).expect("flush");
             Some(v)
         } else {
@@ -303,11 +313,7 @@ pub fn run_sort_hybrid(cluster: &Cluster, cfg: &JobConfig, scfg: &SortConfig) ->
 
 /// The DRAM-only two-pass baseline: sort each half separately (interim
 /// results staged on the PFS), then merge the halves through the PFS.
-pub fn run_sort_dram_two_pass(
-    cluster: &Cluster,
-    cfg: &JobConfig,
-    scfg: &SortConfig,
-) -> SortReport {
+pub fn run_sort_dram_two_pass(cluster: &Cluster, cfg: &JobConfig, scfg: &SortConfig) -> SortReport {
     let p = cfg.ranks();
     assert_eq!(scfg.total_elems % (2 * p), 0);
     let result = run_job(cluster, cfg, Calibration::default(), |ctx, env| {

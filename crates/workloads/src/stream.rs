@@ -138,7 +138,7 @@ enum StreamArray {
 fn init_value(which: usize, i: usize) -> f64 {
     // Deterministic per-array contents so the kernel can be verified.
     match which {
-        1 => i as f64 * 0.5,         // B
+        1 => i as f64 * 0.5,          // B
         2 => (i % 1024) as f64 + 1.0, // C
         _ => 0.0,                     // A
     }
@@ -182,8 +182,7 @@ pub fn run_stream(
                         .ssdmalloc_shared::<f64>(ctx, &format!("stream.{name}"), scfg.elems)
                         .expect("ssdmalloc failed for STREAM array");
                     // Each thread initializes its own slice.
-                    let init: Vec<f64> =
-                        (0..my).map(|i| init_value(which, base + i)).collect();
+                    let init: Vec<f64> = (0..my).map(|i| init_value(which, base + i)).collect();
                     v.write_slice(ctx, base, &init).expect("init write");
                     v.flush(ctx).expect("init flush");
                     arrays.push(StreamArray::Nvm(v));
@@ -260,12 +259,7 @@ pub fn run_stream(
         (elapsed, ok)
     });
 
-    let time = result
-        .outputs
-        .iter()
-        .map(|(t, _)| *t)
-        .max()
-        .expect("ranks");
+    let time = result.outputs.iter().map(|(t, _)| *t).max().expect("ranks");
     let verified = result.outputs.iter().all(|(_, ok)| *ok);
     let total_bytes = kernel.bytes_per_elem() * scfg.elems as u64 * scfg.iters as u64;
     StreamReport {
@@ -378,9 +372,9 @@ pub fn run_stream_raw_ssd(
         }
         env.comm.barrier(ctx, env.rank);
         let elapsed = ctx.now() - t0;
-        let ok = (0..my).step_by((my / 3).max(1)).all(|i| {
-            a[i] == kernel.expected(init_value(1, base + i), init_value(2, base + i))
-        });
+        let ok = (0..my)
+            .step_by((my / 3).max(1))
+            .all(|i| a[i] == kernel.expected(init_value(1, base + i), init_value(2, base + i)));
         (elapsed, ok)
     });
 

@@ -27,8 +27,15 @@ fn small_fuse(scale: u64) -> FuseConfig {
 fn stream_triad_dram_only() {
     let cfg = JobConfig::dram_only(4, 1);
     let cluster = cluster_for(&cfg, 256);
-    let scfg = StreamConfig::new(64 * 1024).place(ArrayPlace::Dram, ArrayPlace::Dram, ArrayPlace::Dram);
-    let r = run_stream(&cluster, &cfg, Calibration::default(), &scfg, StreamKernel::Triad);
+    let scfg =
+        StreamConfig::new(64 * 1024).place(ArrayPlace::Dram, ArrayPlace::Dram, ArrayPlace::Dram);
+    let r = run_stream(
+        &cluster,
+        &cfg,
+        Calibration::default(),
+        &scfg,
+        StreamKernel::Triad,
+    );
     assert!(r.verified);
     assert!(r.bandwidth_mb_s > 0.0);
 }
@@ -39,8 +46,13 @@ fn stream_triad_nvm_much_slower_than_dram() {
     let dram_cfg = JobConfig::dram_only(4, 1);
     let dram_cluster = cluster_for(&dram_cfg, 256);
     let scfg = StreamConfig::new(elems);
-    let dram =
-        run_stream(&dram_cluster, &dram_cfg, Calibration::default(), &scfg, StreamKernel::Triad);
+    let dram = run_stream(
+        &dram_cluster,
+        &dram_cfg,
+        Calibration::default(),
+        &scfg,
+        StreamKernel::Triad,
+    );
 
     let nvm_cfg = JobConfig::local(4, 1, 1);
     let nvm_cluster = Cluster::with_fuse(
@@ -49,8 +61,13 @@ fn stream_triad_nvm_much_slower_than_dram() {
         small_fuse(256),
     );
     let all = StreamConfig::new(elems).place(ArrayPlace::Nvm, ArrayPlace::Nvm, ArrayPlace::Nvm);
-    let nvm =
-        run_stream(&nvm_cluster, &nvm_cfg, Calibration::default(), &all, StreamKernel::Triad);
+    let nvm = run_stream(
+        &nvm_cluster,
+        &nvm_cfg,
+        Calibration::default(),
+        &all,
+        StreamKernel::Triad,
+    );
 
     assert!(dram.verified && nvm.verified);
     let slowdown = dram.bandwidth_mb_s / nvm.bandwidth_mb_s;
@@ -119,8 +136,13 @@ fn stream_raw_ssd_slower_than_nvmalloc() {
             ..FuseConfig::default()
         },
     );
-    let with_nvmalloc =
-        run_stream(&cluster, &cfg, Calibration::default(), &scfg, StreamKernel::Triad);
+    let with_nvmalloc = run_stream(
+        &cluster,
+        &cfg,
+        Calibration::default(),
+        &scfg,
+        StreamKernel::Triad,
+    );
 
     let raw_cfg = JobConfig::dram_only(4, 1);
     let raw_cluster = cluster_for(&raw_cfg, 256);
@@ -157,8 +179,11 @@ fn stream_all_kernels_verify() {
     ] {
         let scfg = StreamConfig {
             iters: 2,
-            ..StreamConfig::new(16 * 1024)
-                .place(ArrayPlace::Dram, ArrayPlace::Dram, ArrayPlace::Nvm)
+            ..StreamConfig::new(16 * 1024).place(
+                ArrayPlace::Dram,
+                ArrayPlace::Dram,
+                ArrayPlace::Nvm,
+            )
         };
         let r = run_stream(&cluster, &cfg, Calibration::default(), &scfg, kernel);
         assert!(r.verified, "{} failed verification", kernel.name());
@@ -197,7 +222,10 @@ fn mm_nvm_shared_verifies() {
     );
     let r = run_mm(&cluster, &cfg, &mm_cfg(64)).unwrap();
     assert_eq!(r.verified, Some(true));
-    assert!(r.traffic.app_b_bytes > 0, "B accesses must route through NVM");
+    assert!(
+        r.traffic.app_b_bytes > 0,
+        "B accesses must route through NVM"
+    );
 }
 
 #[test]
@@ -333,7 +361,10 @@ fn sort_two_pass_verifies() {
     let cluster = cluster_for(&cfg, 1024);
     let scfg = SortConfig::new(64 * 1024);
     let r = run_sort_dram_two_pass(&cluster, &cfg, &scfg);
-    assert!(r.verified, "two-pass sort must produce a sorted permutation");
+    assert!(
+        r.verified,
+        "two-pass sort must produce a sorted permutation"
+    );
     assert_eq!(r.passes, 2);
 }
 

@@ -109,8 +109,7 @@ fn mm_individual_b_uses_more_store_space() {
     // Shared mode stores one B file per *node* (2), individual one per
     // *rank* (4): twice the flash writes here.
     assert!(
-        indiv_cluster.total_ssd_bytes_written()
-            >= 2 * shared_cluster.total_ssd_bytes_written()
+        indiv_cluster.total_ssd_bytes_written() >= 2 * shared_cluster.total_ssd_bytes_written()
     );
 }
 
@@ -146,7 +145,13 @@ fn stream_single_iteration_still_verifies() {
         iters: 1,
         ..StreamConfig::new(8192).place(ArrayPlace::Nvm, ArrayPlace::Dram, ArrayPlace::Dram)
     };
-    let r = run_stream(&cluster, &cfg, Calibration::default(), &scfg, StreamKernel::Triad);
+    let r = run_stream(
+        &cluster,
+        &cfg,
+        Calibration::default(),
+        &scfg,
+        StreamKernel::Triad,
+    );
     assert!(r.verified);
 }
 

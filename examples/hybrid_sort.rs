@@ -15,14 +15,14 @@ fn main() {
     println!("sorting {total} elements (stands in for 200 GB at full scale)\n");
 
     let dram_cfg = JobConfig::dram_only(4, 4);
-    let dram_cluster = Cluster::new(ClusterSpec::hal().scaled(1024), &dram_cfg.benefactor_nodes());
+    let dram_cluster = Cluster::new(
+        ClusterSpec::hal().scaled(1024),
+        &dram_cfg.benefactor_nodes(),
+    );
     let two_pass = run_sort_dram_two_pass(&dram_cluster, &dram_cfg, &SortConfig::new(total));
     println!(
         "{}: {} in {} passes (interim data staged on the PFS), verified: {}",
-        two_pass.label,
-        two_pass.time,
-        two_pass.passes,
-        two_pass.verified
+        two_pass.label, two_pass.time, two_pass.passes, two_pass.verified
     );
 
     let hy_cfg = JobConfig::local(4, 4, 4);
@@ -37,10 +37,7 @@ fn main() {
     );
     println!(
         "{}: {} in {} pass (half the list on NVM variables), verified: {}",
-        hybrid.label,
-        hybrid.time,
-        hybrid.passes,
-        hybrid.verified
+        hybrid.label, hybrid.time, hybrid.passes, hybrid.verified
     );
 
     println!(

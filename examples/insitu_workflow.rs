@@ -42,31 +42,40 @@ fn main() {
 
     // --- Job 2: the analysis, a separate job on the same machine ---------
     let analysis_cfg = JobConfig::local(4, 2, 2);
-    let analysis = run_job(&cluster, &analysis_cfg, Calibration::default(), |ctx, env| {
-        // No ssdmalloc: open the producer's variable by name.
-        let field: NvmVec<f64> = env
-            .client
-            .open_var(ctx, "workflow.field")
-            .expect("the simulation's output is still there");
-        assert_eq!(field.len(), FIELD);
-        let my = FIELD / env.size;
-        let mut window = vec![0f64; my];
-        field.read_slice(ctx, env.rank * my, &mut window).expect("read");
-        let local_sum: f64 = window.iter().sum();
-        env.compute(ctx, my as f64);
-        let sums = env.comm.gather(ctx, env.rank, 0, vec![local_sum]);
-        if env.rank == 0 {
-            let total: f64 = sums.unwrap().into_iter().flatten().sum();
-            println!("analysis: Σ sqrt(i) over {FIELD} elements = {total:.2}");
-            let expect: f64 = (0..FIELD).map(|i| (i as f64).sqrt()).sum();
-            assert!((total - expect).abs() < 1e-6 * expect.abs());
-        }
-        // The analysis job cleans up when done.
-        env.comm.barrier(ctx, env.rank);
-        if env.rank == 0 {
-            env.client.unlink_shared(ctx, "workflow.field").expect("cleanup");
-        }
-    });
+    let analysis = run_job(
+        &cluster,
+        &analysis_cfg,
+        Calibration::default(),
+        |ctx, env| {
+            // No ssdmalloc: open the producer's variable by name.
+            let field: NvmVec<f64> = env
+                .client
+                .open_var(ctx, "workflow.field")
+                .expect("the simulation's output is still there");
+            assert_eq!(field.len(), FIELD);
+            let my = FIELD / env.size;
+            let mut window = vec![0f64; my];
+            field
+                .read_slice(ctx, env.rank * my, &mut window)
+                .expect("read");
+            let local_sum: f64 = window.iter().sum();
+            env.compute(ctx, my as f64);
+            let sums = env.comm.gather(ctx, env.rank, 0, vec![local_sum]);
+            if env.rank == 0 {
+                let total: f64 = sums.unwrap().into_iter().flatten().sum();
+                println!("analysis: Σ sqrt(i) over {FIELD} elements = {total:.2}");
+                let expect: f64 = (0..FIELD).map(|i| (i as f64).sqrt()).sum();
+                assert!((total - expect).abs() < 1e-6 * expect.abs());
+            }
+            // The analysis job cleans up when done.
+            env.comm.barrier(ctx, env.rank);
+            if env.rank == 0 {
+                env.client
+                    .unlink_shared(ctx, "workflow.field")
+                    .expect("cleanup");
+            }
+        },
+    );
     println!(
         "analysis finished at {} — store now holds {}",
         analysis.makespan(),

@@ -21,12 +21,17 @@ fn main() {
         // the node-local SSDs — used exactly like memory.
         let v: NvmVec<f64> = env.client.ssdmalloc(ctx, 1_000_000).expect("ssdmalloc");
         v.set(ctx, 0, 3.25).expect("write");
-        v.write_slice(ctx, 500_000, &[1.0, 2.0, 3.0]).expect("write slice");
+        v.write_slice(ctx, 500_000, &[1.0, 2.0, 3.0])
+            .expect("write slice");
 
         let x = v.get(ctx, 0).expect("read");
         assert_eq!(x, 3.25);
         assert_eq!(v.get(ctx, 500_001).expect("read"), 2.0);
-        assert_eq!(v.get(ctx, 999_999).expect("read"), 0.0, "unwritten NVM reads as zero");
+        assert_eq!(
+            v.get(ctx, 999_999).expect("read"),
+            0.0,
+            "unwritten NVM reads as zero"
+        );
 
         // ssdcheckpoint: snapshot DRAM state + the variable into one
         // logical restart file. The variable's chunks are *linked*, not
@@ -44,7 +49,10 @@ fn main() {
         // …the frozen image is unaffected.
         let frozen: NvmVec<f64> = env.client.restore_var(ctx, &ckpt, 0).expect("restore");
         assert_eq!(frozen.get(ctx, 0).expect("read"), 3.25);
-        assert_eq!(env.client.restore_dram(ctx, &ckpt).expect("restore"), dram_state);
+        assert_eq!(
+            env.client.restore_dram(ctx, &ckpt).expect("restore"),
+            dram_state
+        );
 
         env.comm.barrier(ctx, env.rank);
         (env.rank, ctx.now())

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Pre-PR gate: run this before pushing. Offline-friendly — everything it
+# needs (including the vendored shims/ crates) lives in the workspace, so
+# no network access is required.
+#
+#   scripts/check.sh          # fmt + clippy + full workspace test suite
+#   scripts/check.sh --quick  # skip clippy (fmt + tests only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[ "${1:-}" = "--quick" ] && quick=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+if [ "$quick" -eq 0 ]; then
+    echo "==> cargo clippy (warnings are errors)"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+echo "==> cargo test (workspace)"
+cargo test -q --workspace
+
+echo "==> cargo build --benches"
+cargo build --benches -q --workspace
+
+echo "All checks passed."

@@ -1,0 +1,197 @@
+//! Offline stand-in for the slice of `criterion` this workspace uses.
+//!
+//! Implements `Criterion::bench_function`, `Bencher::iter`/`iter_batched`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros with
+//! plain `std::time::Instant` timing. No statistical analysis beyond
+//! median-of-samples, no HTML reports, no gnuplot — just a stable
+//! `name  median ns/iter` line per benchmark so `cargo bench` runs
+//! without registry access.
+
+use std::time::{Duration, Instant};
+
+/// Hint used by `iter_batched` in upstream criterion to size batches;
+/// here every variant behaves the same (setup runs once per sample).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark driver configured via the builder methods upstream exposes.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mode: Mode::WarmUp {
+                deadline: Instant::now() + self.warm_up_time,
+            },
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        routine(&mut b);
+
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        b.mode = Mode::Measure { per_sample };
+        b.samples.clear();
+        routine(&mut b);
+
+        let mut samples = b.samples;
+        assert!(!samples.is_empty(), "bencher closure never called iter()");
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let best = samples[0];
+        println!(
+            "{name:<40} median {median:>12} ns/iter (best {best} ns, {} samples)",
+            samples.len()
+        );
+        self
+    }
+}
+
+enum Mode {
+    WarmUp { deadline: Instant },
+    Measure { per_sample: Duration },
+}
+
+/// Passed to the benchmark closure; records per-iteration timings.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<u64>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::SmallInput);
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::WarmUp { deadline } => {
+                while Instant::now() < deadline {
+                    let input = setup();
+                    std::hint::black_box(routine(input));
+                }
+            }
+            Mode::Measure { per_sample } => {
+                // One sample = enough back-to-back iterations to fill
+                // per_sample, timed around the routine only.
+                let sample_deadline = Instant::now() + per_sample;
+                let mut elapsed = Duration::ZERO;
+                let mut iters: u64 = 0;
+                loop {
+                    let input = setup();
+                    let start = Instant::now();
+                    std::hint::black_box(routine(input));
+                    elapsed += start.elapsed();
+                    iters += 1;
+                    if Instant::now() >= sample_deadline {
+                        break;
+                    }
+                }
+                self.samples
+                    .push((elapsed.as_nanos() / iters as u128) as u64);
+            }
+        }
+    }
+}
+
+/// Re-export so call sites can use `criterion::black_box` if they prefer.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut c: $crate::Criterion = $config;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(6));
+        let mut x = 0u64;
+        c.bench_function("smoke_iter", |b| {
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            })
+        });
+        assert!(x > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_batch() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        c.bench_function("smoke_batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -50,7 +50,8 @@ fn many_variables_fill_and_free_the_store() {
     let result = run_job(&cluster, &cfg, Calibration::default(), |ctx, env| {
         for round in 0..5 {
             let v: NvmVec<u8> = env.client.ssdmalloc(ctx, 512 * 1024).expect("alloc");
-            v.write_slice(ctx, 0, &vec![round as u8; 512 * 1024]).expect("w");
+            v.write_slice(ctx, 0, &vec![round as u8; 512 * 1024])
+                .expect("w");
             v.flush(ctx).expect("flush");
             assert_eq!(v.get(ctx, 1000).expect("r"), round as u8);
             env.client.ssdfree(ctx, v).expect("free");
@@ -73,7 +74,10 @@ fn store_exhaustion_is_reported_not_corrupted() {
         // First allocation fits; the second cannot.
         let a: NvmVec<u8> = env.client.ssdmalloc(ctx, 6 << 20).expect("fits");
         let over = env.client.ssdmalloc::<u8>(ctx, 6 << 20);
-        assert!(matches!(over, Err(chunkstore::StoreError::OutOfSpace { .. })));
+        assert!(matches!(
+            over,
+            Err(chunkstore::StoreError::OutOfSpace { .. })
+        ));
         // The first variable still works.
         a.set(ctx, 0, 9).expect("write");
         assert_eq!(a.get(ctx, 0).expect("read"), 9);
@@ -141,9 +145,12 @@ fn virtual_time_is_deterministic_across_runs() {
         let cluster = small_cluster(&cfg, 256);
         let result = run_job(&cluster, &cfg, Calibration::default(), |ctx, env| {
             let v: NvmVec<u64> = env.client.ssdmalloc(ctx, 100_000).expect("alloc");
-            v.write_slice(ctx, 0, &vec![env.rank as u64; 100_000]).expect("w");
+            v.write_slice(ctx, 0, &vec![env.rank as u64; 100_000])
+                .expect("w");
             env.comm.barrier(ctx, env.rank);
-            let g = env.comm.gather(ctx, env.rank, 0, vec![ctx.now().as_nanos()]);
+            let g = env
+                .comm
+                .gather(ctx, env.rank, 0, vec![ctx.now().as_nanos()]);
             let _ = g;
             ctx.now()
         });
