@@ -5,7 +5,7 @@
 //! consuming too much DRAM", §III-D). This sweep shows the trade-off on
 //! the matrix-multiply computing stage.
 
-use bench::{check, header, Table, SCALE};
+use bench::{header, JsonReport, Table, SCALE};
 use cluster::{Cluster, ClusterSpec, JobConfig};
 use fusemm::FuseConfig;
 use workloads::matmul::{run_mm, AccessOrder, MmConfig};
@@ -21,7 +21,10 @@ fn main() {
     // the node's processes share one sequential sweep.
     let cfg = JobConfig::local(8, 1, 1);
     let t = Table::new(&[("Cache", 8), ("Computing s", 12), ("SSD GiB", 9)]);
+    let mut report = JsonReport::new("ablate_cache_size");
+    report.config("scale", SCALE).config("config", cfg.label());
     let mut times = Vec::new();
+    let mut last_cluster = None;
     for cache_kib in [512u64, 1024, 2048, 4096, 8192, 16384] {
         let cluster = Cluster::with_fuse(
             ClusterSpec::hal().scaled(SCALE),
@@ -46,15 +49,22 @@ fn main() {
             ),
         ]);
         times.push(r.stages.computing.as_secs_f64());
+        report.value(
+            &format!("computing_s_cache_{cache_kib}k"),
+            r.stages.computing,
+        );
         bench::store_health(&format!("cache {}K", cache_kib), &cluster);
+        last_cluster = Some(cluster);
     }
     println!();
-    check(
+    report.check(
         "larger caches never hurt the computing stage",
         times.windows(2).all(|w| w[1] <= w[0] * 1.05),
     );
-    check(
+    report.check(
         "diminishing returns: the last doubling changes less than the first",
         (times[0] - times[1]) >= (times[4] - times[5]),
     );
+    let cluster = last_cluster.expect("sweep ran");
+    report.counters_from(&cluster).health_from(&cluster).emit();
 }

@@ -4,7 +4,7 @@
 //! sequential streams (STREAM read bandwidth rises), but amplify the
 //! read-modify-write traffic of small random writes (Table VII's world).
 
-use bench::{check, header, Table, SCALE};
+use bench::{header, JsonReport, Table, SCALE};
 use chunkstore::StoreConfig;
 use cluster::{Calibration, Cluster, ClusterSpec, JobConfig};
 use fusemm::FuseConfig;
@@ -17,8 +17,11 @@ fn main() {
         "§III-D design choice (256 KiB default)",
     );
     let t = Table::new(&[("Chunk", 8), ("TRIAD MB/s", 11), ("randwrite SSD MiB", 18)]);
+    let mut report = JsonReport::new("ablate_chunk_size");
+    report.config("scale", SCALE);
     let mut seq_bw = Vec::new();
     let mut rw_vol = Vec::new();
+    let mut last_cluster = None;
     for chunk_kib in [64u64, 128, 256, 512, 1024] {
         let store_cfg = StoreConfig {
             chunk_size: chunk_kib * 1024,
@@ -78,17 +81,25 @@ fn main() {
         ]);
         seq_bw.push(s.bandwidth_mb_s);
         rw_vol.push(r.data_to_ssd);
+        report.value(&format!("triad_mb_s_chunk_{chunk_kib}k"), s.bandwidth_mb_s);
+        report.counter(
+            &format!("randwrite_ssd_bytes_chunk_{chunk_kib}k"),
+            r.data_to_ssd,
+        );
         bench::store_health(&format!("chunk {}K seq", chunk_kib), &cluster);
         bench::store_health(&format!("chunk {}K rw", chunk_kib), &rw_cluster);
         assert!(s.verified && r.verified);
+        last_cluster = Some(cluster);
     }
     println!();
-    check(
+    report.check(
         "sequential bandwidth rises with chunk size (latency amortization)",
         seq_bw.windows(2).all(|w| w[1] >= w[0] * 0.95) && seq_bw[4] > seq_bw[0],
     );
-    check(
+    report.check(
         "random-write SSD volume is flat with page write-back (the optimization decouples it)",
         rw_vol.iter().max().unwrap() - rw_vol.iter().min().unwrap() < rw_vol[0] / 2,
     );
+    let cluster = last_cluster.expect("sweep ran");
+    report.counters_from(&cluster).health_from(&cluster).emit();
 }

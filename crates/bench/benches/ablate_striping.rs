@@ -5,7 +5,7 @@
 //! de-phased deterministically; random placement achieves the same in
 //! expectation with occasional hot spots. The paper uses round-robin.
 
-use bench::{check, header, scaled_fuse, Table, SCALE};
+use bench::{header, scaled_fuse, JsonReport, Table, SCALE};
 use chunkstore::{PlacementPolicy, StripeSpec};
 use cluster::{run_job, Calibration, Cluster, ClusterSpec, JobConfig};
 use nvmalloc::AllocOptions;
@@ -22,8 +22,11 @@ fn main() {
         ("Max SSD busy s", 15),
         ("Mean SSD busy s", 16),
     ]);
+    let mut report = JsonReport::new("ablate_striping");
+    report.config("scale", SCALE).config("config", cfg.label());
     let mut times = Vec::new();
     let mut skews = Vec::new();
+    let mut last_cluster = None;
     for (policy, name) in [
         (PlacementPolicy::RoundRobin, "round-robin"),
         (PlacementPolicy::RandomPermutation { seed: 9 }, "random"),
@@ -75,19 +78,25 @@ fn main() {
         ]);
         times.push(time);
         skews.push(max_busy / mean_busy);
+        report
+            .value(&format!("write_flush_s_{name}"), time)
+            .value(&format!("ssd_busy_skew_{name}"), max_busy / mean_busy);
         bench::store_health(name, &cluster);
+        last_cluster = Some(cluster);
     }
     println!();
-    check(
+    report.check(
         "both policies land within 25% of each other (balanced in expectation)",
         (times[0] / times[1] - 1.0).abs() < 0.25 || (times[1] / times[0] - 1.0).abs() < 0.25,
     );
-    check(
+    report.check(
         "round-robin keeps the SSD fleet balanced (max/mean < 1.2)",
         skews[0] < 1.2,
     );
-    check(
+    report.check(
         "random placement is no better balanced than round-robin",
         skews[1] >= skews[0] * 0.95,
     );
+    let cluster = last_cluster.expect("sweep ran");
+    report.counters_from(&cluster).health_from(&cluster).emit();
 }

@@ -10,7 +10,7 @@
 //! * **incremental** checkpoints pay only for chunks dirtied since the
 //!   previous one.
 
-use bench::{check, header, mib, scaled_fuse, Table, SCALE};
+use bench::{header, mib, scaled_fuse, JsonReport, Table, SCALE};
 use cluster::{run_job, Calibration, Cluster, ClusterSpec, JobConfig};
 use simcore::VTime;
 
@@ -115,24 +115,37 @@ fn main() {
     let linked = &rows[0];
     let copy = &rows[1];
     let incr = &rows[2];
+    let mut report = JsonReport::new("ckpt_linking");
+    report
+        .config("scale", SCALE)
+        .config("config", cfg.label())
+        .config("var_bytes", var_bytes)
+        .config("dram_bytes", dram_bytes);
+    report
+        .value("linked_ckpt_s", linked.1)
+        .value("naive_copy_s", copy.1)
+        .value("incremental_ckpt_s", incr.1)
+        .counter("linked_extra_nvm_bytes", linked.2)
+        .counter("incremental_extra_nvm_bytes", incr.2);
     // Extra physical bytes must be the DRAM image alone, chunk-rounded.
     let chunk = 256 * 1024u64;
-    check(
+    report.check(
         "linking adds zero NVM bytes for the variable (only the DRAM image)",
         linked.2 == linked.3.div_ceil(chunk) * chunk,
     );
-    check(
+    report.check(
         "linked checkpoint is much faster than a full copy",
         linked.1 * 3.0 < copy.1,
     );
-    check(
+    report.check(
         "incremental checkpoint adds no new chunks beyond the DRAM image",
         incr.2 <= linked.2,
     );
-    check(
+    report.check(
         "copy-on-write keeps the frozen image intact",
         rows[3].1 == 1.0,
     );
+    report.counters_from(&cluster).health_from(&cluster).emit();
     let vt = VTime::ZERO;
     let _ = vt;
 }

@@ -13,7 +13,7 @@
 //! * time-to-repair — one re-replication sweep after the faulted run,
 //!   restoring every chunk to target degree.
 
-use bench::{check, header, secs, store_health, stream_fuse, Table, SCALE};
+use bench::{header, secs, store_health, stream_fuse, JsonReport, Table, SCALE};
 use chunkstore::{PlacementPolicy, Slot, StoreError, StripeSpec};
 use cluster::{Calibration, Cluster, ClusterSpec, JobConfig};
 use faults::FaultPlanBuilder;
@@ -70,7 +70,7 @@ fn run_stream_once(replicas: usize, crash_at: Option<VTime>) -> (f64, bool, VTim
 }
 
 /// k=1 has no degraded mode: show the documented failure instead.
-fn demonstrate_k1_failure() {
+fn demonstrate_k1_failure(report: &mut JsonReport) {
     let cluster = mm_cluster(&JobConfig::local(8, 8, 8));
     let store = &cluster.store;
     let (t, f) = store.create_file(VTime::ZERO, 0, "/unreplicated").unwrap();
@@ -97,7 +97,7 @@ fn demonstrate_k1_failure() {
     store.set_benefactor_alive(home, false);
     let err = store.fetch_chunk(t, 0, f, 0).unwrap_err();
     println!("  k=1 after crash of {home:?}: read fails with `{err:?}` (no silent data loss)");
-    check(
+    report.check(
         "k=1 reports BenefactorDown for the lost copy",
         matches!(err, StoreError::BenefactorDown(b) if b == home),
     );
@@ -108,6 +108,8 @@ fn main() {
         "Degraded mode: MM + STREAM through a benefactor failure",
         "fault-tolerance extension (no paper figure; cf. §III-D health tracking)",
     );
+    let mut report = JsonReport::new("degraded_mode");
+    report.config("scale", SCALE).config("victim", VICTIM);
 
     // ---- replication overhead on a healthy store --------------------------
     let (mm_k1, c1) = run_mm_once(1, None);
@@ -141,11 +143,18 @@ fn main() {
         format!("{bw_k2:.1}"),
         format!("{stream_overhead:.1}"),
     ]);
-    check(
+    report
+        .value("mm_total_s_k1", mm_k1.stages.total())
+        .value("mm_total_s_k2", mm_k2.stages.total())
+        .value("mm_overhead_pct", mm_overhead)
+        .value("triad_mb_s_k1", bw_k1)
+        .value("triad_mb_s_k2", bw_k2)
+        .value("stream_overhead_pct", stream_overhead);
+    report.check(
         "healthy-store runs verify",
         mm_k1.verified != Some(false) && ok_s1 && ok_s2,
     );
-    check("k=2 write path costs extra (MM)", mm_overhead > 0.0);
+    report.check("k=2 write path costs extra (MM)", mm_overhead > 0.0);
 
     // ---- degraded operation: kill 1 of 8 benefactors mid-run --------------
     println!();
@@ -158,19 +167,22 @@ fn main() {
         secs(mm_f.stages.total()),
         secs(mm_k2.stages.total()),
     );
-    check(
+    report
+        .value("mm_total_s_k2_faulted", mm_f.stages.total())
+        .counter("mm_faulted_failovers", failovers);
+    report.check(
         "faulted k=2 MM completes and verifies",
         mm_f.verified != Some(false),
     );
-    check("faulted k=2 MM failed over", failovers > 0);
-    check(
+    report.check("faulted k=2 MM failed over", failovers > 0);
+    report.check(
         "degraded run is no faster than fault-free",
         mm_f.stages.total() >= mm_k2.stages.total(),
     );
 
     // Determinism: the same seeded plan reproduces identical numbers.
     let (mm_f2, cf2) = run_mm_once(2, Some(crash_at));
-    check(
+    report.check(
         "same seed reproduces identical virtual-time totals",
         mm_f.stages.total() == mm_f2.stages.total()
             && failovers == cf2.stats.get("store.failovers"),
@@ -180,18 +192,20 @@ fn main() {
     let (bw_f, ok_f, _, csf) = run_stream_once(2, Some(stream_crash));
     store_health("STREAM k=2 faulted", &csf);
     println!("  STREAM k=2 with crash at {stream_crash}: {bw_f:.1} MB/s (fault-free {bw_k2:.1})",);
-    check("faulted k=2 STREAM completes and verifies", ok_f);
+    report.value("triad_mb_s_k2_faulted", bw_f);
+    report.check("faulted k=2 STREAM completes and verifies", ok_f);
 
     // ---- time-to-repair ---------------------------------------------------
     // The MM job unlinks its files at teardown, so repair is measured on a
     // persistent dataset: a 64 MiB k=2 file, one benefactor lost.
     println!();
-    measure_repair();
+    measure_repair(&mut report);
 
-    demonstrate_k1_failure();
+    demonstrate_k1_failure(&mut report);
+    report.counters_from(&cf).health_from(&cf).emit();
 }
 
-fn measure_repair() {
+fn measure_repair(report: &mut JsonReport) {
     let cluster = mm_cluster(&JobConfig::local(8, 8, 8));
     let store = &cluster.store;
     let size = 64u64 * 1024 * 1024 / SCALE;
@@ -217,21 +231,24 @@ fn measure_repair() {
     }
     store.set_benefactor_alive(chunkstore::BenefactorId(3), false);
     let degraded = store.manager().under_replicated().len();
-    let (t_done, report) = store.repair_under_replicated(t);
+    let (t_done, repair) = store.repair_under_replicated(t);
     println!(
         "  repair sweep over {} ({degraded} degraded chunks): {} chunks ({}) \
          re-replicated in {}s — degraded window closed",
         simcore::bytes::human(size),
-        report.chunks_repaired,
-        simcore::bytes::human(report.bytes_copied),
+        repair.chunks_repaired,
+        simcore::bytes::human(repair.bytes_copied),
         secs(t_done - t),
     );
     store_health("after repair", &cluster);
-    check(
+    report
+        .value("repair_sweep_s", t_done - t)
+        .counter("repair_chunks", repair.chunks_repaired);
+    report.check(
         "repair restores full replica degree",
         degraded > 0
-            && report.chunks_repaired == degraded as u64
-            && report.chunks_unrepairable == 0
+            && repair.chunks_repaired == degraded as u64
+            && repair.chunks_unrepairable == 0
             && store.manager().under_replicated().is_empty(),
     );
 }

@@ -5,7 +5,7 @@
 //! and remote SSDs. Y-axis normalized to DRAM-only = 100, as in the
 //! paper (which reports local ≈ 62× and remote ≈ 115× slower overall).
 
-use bench::{check, hal_cluster, header, stream_fuse, Table, SCALE};
+use bench::{hal_cluster, header, stream_fuse, JsonReport, Table, SCALE};
 use cluster::{Calibration, JobConfig};
 use cluster::{Cluster, ClusterSpec};
 use workloads::stream::{run_stream, ArrayPlace, StreamConfig, StreamKernel};
@@ -54,8 +54,14 @@ fn main() {
         ("R MB/s", 9),
         ("verified", 9),
     ]);
+    let mut report = JsonReport::new("fig2_stream_triad");
+    report
+        .config("scale", SCALE)
+        .config("elems_per_array", elems)
+        .value("dram_mb_s", dram.bandwidth_mb_s);
     let mut worst_local = f64::MAX;
     let mut worst_remote = f64::MAX;
+    let mut last_cluster = None;
     for (a, b, c) in placements {
         let scfg = base_cfg.place(a, b, c);
 
@@ -87,8 +93,13 @@ fn main() {
             format!("{:.1}", remote.bandwidth_mb_s),
             format!("{}", local.verified && remote.verified),
         ]);
-        bench::store_health(&format!("L {}", scfg.placement_label()), &lcluster);
-        bench::store_health(&format!("R {}", scfg.placement_label()), &rcluster);
+        let label = scfg.placement_label();
+        report
+            .value(&format!("local_mb_s_{label}"), local.bandwidth_mb_s)
+            .value(&format!("remote_mb_s_{label}"), remote.bandwidth_mb_s);
+        bench::store_health(&format!("L {label}"), &lcluster);
+        bench::store_health(&format!("R {label}"), &rcluster);
+        last_cluster = Some(rcluster);
     }
 
     println!();
@@ -96,16 +107,21 @@ fn main() {
     let lf = 100.0 / worst_local;
     let rf = 100.0 / worst_remote;
     println!("worst-case slowdown: local {lf:.0}x (paper 62x), remote {rf:.0}x (paper 115x)");
-    check(
+    report
+        .value("worst_local_slowdown", lf)
+        .value("worst_remote_slowdown", rf);
+    report.check(
         "local SSD slowdown within 2x of the paper's 62x",
         lf > 31.0 && lf < 124.0,
     );
-    check(
+    report.check(
         "remote SSD slowdown within 2x of the paper's 115x",
         rf > 57.0 && rf < 230.0,
     );
-    check(
+    report.check(
         "remote always slower than local",
         worst_remote < worst_local + 1e-9,
     );
+    let cluster = last_cluster.expect("placements ran");
+    report.counters_from(&cluster).health_from(&cluster).emit();
 }

@@ -2,7 +2,7 @@
 //! row-major access, shared mmap file for B, across the paper's
 //! DRAM/L-SSD/R-SSD `(x:y:z)` configurations.
 
-use bench::{check, hal_cluster, header, secs, Table};
+use bench::{hal_cluster, header, secs, JsonReport, Table, SCALE};
 use cluster::JobConfig;
 use workloads::matmul::{run_mm, BPlacement, MmConfig, MmReport};
 
@@ -21,7 +21,7 @@ fn configs() -> Vec<(JobConfig, BPlacement)> {
     ]
 }
 
-fn run_one(cfg: &JobConfig, place: BPlacement) -> MmReport {
+fn run_one(cfg: &JobConfig, place: BPlacement) -> (MmReport, cluster::Cluster) {
     let cluster = hal_cluster(cfg);
     let mm = MmConfig {
         b_place: place,
@@ -29,7 +29,7 @@ fn run_one(cfg: &JobConfig, place: BPlacement) -> MmReport {
     };
     let r = run_mm(&cluster, cfg, &mm).expect("feasible configuration");
     bench::store_health(&r.label, &cluster);
-    r
+    (r, cluster)
 }
 
 fn main() {
@@ -46,9 +46,14 @@ fn main() {
         ("Collect&Out-C", 14),
         ("Total", 9),
     ]);
+    let mut report = JsonReport::new("fig3_mm_configs");
+    report.config("scale", SCALE).config("n", N);
     let mut reports = Vec::new();
+    let mut last_cluster = None;
     for (cfg, place) in configs() {
-        let r = run_one(&cfg, place);
+        let (r, cluster) = run_one(&cfg, place);
+        report.value(&format!("total_s_{}", r.label), r.stages.total());
+        last_cluster = Some(cluster);
         t.row(&[
             r.label.clone(),
             secs(r.stages.input_split_a),
@@ -86,19 +91,19 @@ fn main() {
     );
     println!();
 
-    check(
+    report.check(
         "L-SSD(2:16:16) within a few % of DRAM-only (paper: 2.19% worse)",
         (total(1) / dram - 1.0).abs() < 0.10,
     );
-    check(
+    report.check(
         "L-SSD(8:16:16) a large improvement over DRAM(2:16:0) (paper: 53.75%)",
         1.0 - total(2) / dram > 0.35,
     );
-    check(
+    report.check(
         "remote SSDs add little overhead vs local (paper: 1.42%)",
         (total(4) / total(3) - 1.0).abs() < 0.05,
     );
-    check(
+    report.check(
         "fewer benefactors grow mainly the broadcast stage",
         reports[7].stages.broadcast_b > reports[4].stages.broadcast_b
             && (reports[7].stages.computing.as_secs_f64()
@@ -107,8 +112,10 @@ fn main() {
                 .abs()
                 < 0.25,
     );
-    check(
+    report.check(
         "R-SSD(8:8:1): one $589 SSD per 8 nodes still beats DRAM-only on half the nodes",
         total(7) < dram,
     );
+    let cluster = last_cluster.expect("configs ran");
+    report.counters_from(&cluster).health_from(&cluster).emit();
 }

@@ -11,7 +11,7 @@
 //! streams of the individual mode less than one chunk each, a thrashing
 //! regime the paper's unscaled 64 MiB cache (256 chunks) never enters.
 
-use bench::{check, header, secs, Table, SCALE};
+use bench::{header, secs, JsonReport, Table, SCALE};
 use cluster::{Cluster, ClusterSpec, JobConfig};
 use fusemm::FuseConfig;
 use workloads::matmul::{run_mm, BPlacement, MmConfig};
@@ -58,8 +58,14 @@ fn main() {
         secs(dram.stages.total()),
     ]);
 
+    let mut report = JsonReport::new("fig4_mm_shared_vs_individual");
+    report
+        .config("scale", SCALE)
+        .config("n", N)
+        .value("dram_total_s", dram.stages.total());
     let mut pairs: Vec<(f64, f64)> = Vec::new(); // (shared total, individual total)
     let mut worst_penalty: f64 = 0.0;
+    let mut last_cluster = None;
     for cfg in [
         JobConfig::local(2, 16, 16),
         JobConfig::local(8, 16, 16),
@@ -92,6 +98,8 @@ fn main() {
                 secs(r.stages.total()),
             ]);
             bench::store_health(&format!("{}-{tag}", r.label), &cluster);
+            report.value(&format!("total_s_{}-{tag}", r.label), r.stages.total());
+            last_cluster = Some(cluster);
         }
         let penalty = totals[0] / totals[1] - 1.0;
         worst_penalty = worst_penalty.max(penalty);
@@ -104,16 +112,19 @@ fn main() {
         "worst individual-vs-shared penalty: {:.1}% (paper: up to 18%)",
         worst_penalty * 100.0
     );
-    check(
+    report.value("worst_penalty_pct", worst_penalty * 100.0);
+    report.check(
         "individual mode is never faster than shared",
         pairs.iter().all(|(s, i)| i >= s),
     );
-    check(
+    report.check(
         "penalty within 2x of the paper's 18% worst case",
         worst_penalty > 0.0 && worst_penalty < 0.36,
     );
-    check(
+    report.check(
         "individual mode still beats the DRAM-only baseline (8-core cases)",
         pairs[1].1 < dram.stages.total().as_secs_f64(),
     );
+    let cluster = last_cluster.expect("configs ran");
+    report.counters_from(&cluster).health_from(&cluster).emit();
 }

@@ -5,7 +5,7 @@
 //! degrading further as SSD resources shrink (L→R, fewer benefactors),
 //! while row-major stays stable.
 
-use bench::{check, header, secs, Table, SCALE};
+use bench::{header, secs, JsonReport, Table, SCALE};
 use cluster::{Cluster, ClusterSpec, JobConfig};
 use fusemm::FuseConfig;
 use workloads::matmul::{run_mm, AccessOrder, BPlacement, MmConfig};
@@ -33,9 +33,12 @@ fn main() {
         (JobConfig::remote(8, 8, 2), BPlacement::NvmShared),
         (JobConfig::remote(8, 8, 1), BPlacement::NvmShared),
     ];
+    let mut report = JsonReport::new("fig5_mm_access_pattern");
+    report.config("scale", SCALE).config("n", N);
     let mut ratios = Vec::new();
     let mut rows = Vec::new();
     let mut cols = Vec::new();
+    let mut last_cluster = None;
     for (cfg, place) in configs {
         let mut comp = [0.0f64; 2];
         for (slot, order) in [AccessOrder::RowMajor, AccessOrder::ColMajor]
@@ -62,6 +65,11 @@ fn main() {
             .unwrap();
             comp[slot] = r.stages.computing.as_secs_f64();
             bench::store_health(&format!("{} {order:?}", cfg.label()), &cluster);
+            report.value(
+                &format!("computing_s_{}_{order:?}", cfg.label()),
+                comp[slot],
+            );
+            last_cluster = Some(cluster);
         }
         t.row(&[
             cfg.label(),
@@ -75,16 +83,18 @@ fn main() {
     }
     println!();
     let _ = secs; // table uses explicit formatting
-    check(
+    report.check(
         "column-major is slower everywhere",
         ratios.iter().all(|r| *r > 1.0),
     );
-    check(
+    report.check(
         "the row/col gap is larger on NVM than on DRAM (paper: 'much more pronounced')",
         ratios[2..].iter().all(|r| *r > ratios[0]),
     );
-    check(
+    report.check(
         "column-major degrades as benefactors shrink (8→1), row-major stays stable",
         cols[7] > cols[4] * 1.02 && (rows[7] / rows[4] - 1.0).abs() < 0.10,
     );
+    let cluster = last_cluster.expect("configs ran");
+    report.counters_from(&cluster).health_from(&cluster).emit();
 }

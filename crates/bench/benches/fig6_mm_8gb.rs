@@ -10,7 +10,7 @@
 //! Paper: the computation should grow 8–16× from 2 GB to 8 GB and grows
 //! ~9× in their measurement; NVMalloc "scales well for larger sizes".
 
-use bench::{check, header, secs, Table};
+use bench::{header, secs, JsonReport, Table};
 use cluster::{Cluster, ClusterSpec, JobConfig};
 use fusemm::FuseConfig;
 use workloads::matmul::{run_mm, BPlacement, MmConfig};
@@ -72,7 +72,14 @@ fn main() {
         ("Collect&Out-C", 14),
         ("Total", 9),
     ]);
+    let mut report = JsonReport::new("fig6_mm_8gb");
+    report
+        .config("scale", SCALE)
+        .config("n_2gb", N_2GB)
+        .config("n_8gb", N_8GB)
+        .value("ref_2gb_computing_s", r2.stages.computing);
     let mut computing = Vec::new();
+    let mut last_cluster = None;
     for cfg in [
         JobConfig::local(8, 16, 16),
         JobConfig::local(8, 8, 8),
@@ -92,22 +99,27 @@ fn main() {
             secs(r.stages.total()),
         ]);
         computing.push(r.stages.computing.as_secs_f64());
+        report.value(&format!("computing_s_{}", r.label), r.stages.computing);
+        last_cluster = Some(cluster);
     }
     println!();
     let factor = computing[0] / r2.stages.computing.as_secs_f64();
     println!(
         "computing growth 2 GB → 8 GB at L-SSD(8:16:16): {factor:.1}x (paper: ~9x, naive 16x)"
     );
-    check(
+    report.value("growth_factor", factor);
+    report.check(
         "DRAM-only placement is infeasible for the 8 GB problem",
         infeasible.is_err(),
     );
-    check(
+    report.check(
         "computing grows by 8-16x (paper measured ~9x)",
         factor > 6.0 && factor < 18.0,
     );
-    check(
+    report.check(
         "all NVMalloc configurations complete a problem larger than physical memory",
         computing.iter().all(|c| *c > 0.0),
     );
+    let cluster = last_cluster.expect("configs ran");
+    report.counters_from(&cluster).health_from(&cluster).emit();
 }

@@ -4,7 +4,7 @@
 //! 256 KiB transfer so the effective latencies/bandwidths driving every
 //! other experiment are visible.
 
-use bench::{check, header, Table};
+use bench::{header, JsonReport, Table};
 use devices::{Ssd, TABLE1};
 use simcore::{StatsRegistry, VTime};
 
@@ -41,12 +41,25 @@ fn main() {
     // §I: DRAM is "at least 8.53 times" faster than the ioDrive Duo.
     let dram = devices::DDR3_1600.read_bw.as_bytes_per_sec();
     let iodrive = devices::FUSION_IODRIVE_DUO.read_bw.as_bytes_per_sec();
-    check(
+    let mut report = JsonReport::new("table1_devices");
+    for p in TABLE1 {
+        report.config(
+            &format!("{}_read_mb_s", p.name.replace([' ', '-'], "_")),
+            p.read_bw.as_bytes_per_sec() / 1e6,
+        );
+    }
+    report.value("dram_over_iodrive", dram / iodrive);
+    report.value(
+        "dram_over_x25e",
+        dram / devices::INTEL_X25E.read_bw.as_bytes_per_sec(),
+    );
+    report.check(
         "DRAM/ioDrive read-bandwidth ratio ≈ 8.53 (paper §I)",
         (dram / iodrive - 8.53).abs() < 0.01,
     );
-    check(
+    report.check(
         "X25-E is >40x slower than DRAM (paper §IV-B-1 rationale)",
         dram / devices::INTEL_X25E.read_bw.as_bytes_per_sec() > 40.0,
     );
+    report.emit();
 }

@@ -7,7 +7,7 @@
 //! read-ahead caching makes it *faster* than the raw path for sequential
 //! access, despite the extra layer.
 
-use bench::{check, header, stream_fuse, Table, SCALE};
+use bench::{header, stream_fuse, JsonReport, Table, SCALE};
 use cluster::{Calibration, Cluster, ClusterSpec, JobConfig};
 use workloads::stream::{
     run_stream, run_stream_raw_ssd, ArrayPlace, RawMmapConfig, StreamConfig, StreamKernel,
@@ -29,7 +29,10 @@ fn main() {
         ("gain", 7),
         ("verified", 9),
     ]);
+    let mut report = JsonReport::new("table3_stream_cache");
+    report.config("scale", SCALE).config("elems", elems);
     let mut all_gain = true;
+    let mut last_cluster = None;
     for kernel in [
         StreamKernel::Copy,
         StreamKernel::Scale,
@@ -69,10 +72,16 @@ fn main() {
             format!("{}", with.verified && raw.verified),
         ]);
         bench::store_health(kernel.name(), &cluster);
+        report
+            .value(&format!("with_mb_s_{}", kernel.name()), with.bandwidth_mb_s)
+            .value(&format!("raw_mb_s_{}", kernel.name()), raw.bandwidth_mb_s);
+        last_cluster = Some(cluster);
     }
     println!();
-    check(
+    report.check(
         "NVMalloc's read-ahead caching beats raw mmap on every kernel (paper Table III)",
         all_gain,
     );
+    let cluster = last_cluster.expect("kernels ran");
+    report.counters_from(&cluster).health_from(&cluster).emit();
 }

@@ -8,7 +8,7 @@
 //! page-granular requests for tiny strides and the store re-fetches
 //! chunks over and over.
 
-use bench::{check, gib, header, Table, SCALE};
+use bench::{gib, header, JsonReport, Table, SCALE};
 use cluster::{Cluster, ClusterSpec, JobConfig};
 use fusemm::FuseConfig;
 use workloads::matmul::{run_mm, AccessOrder, MmConfig};
@@ -40,8 +40,14 @@ fn main() {
         ("To SSD GiB", 11),
     ]);
     let cfg = JobConfig::local(8, 16, 16);
+    let mut report = JsonReport::new("table4_mm_volumes");
+    report
+        .config("scale", SCALE)
+        .config("n", N)
+        .config("config", cfg.label());
     let mut ssd = [0u64; 2];
     let mut fuse = [0u64; 2];
+    let mut last_cluster = None;
     for (slot, (order, label)) in [
         (AccessOrder::RowMajor, "Row-major"),
         (AccessOrder::ColMajor, "Column-major"),
@@ -68,14 +74,21 @@ fn main() {
         ]);
         ssd[slot] = r.traffic.ssd_req_bytes;
         fuse[slot] = r.traffic.fuse_req_bytes;
+        report
+            .counter(&format!("app_b_bytes_{label}"), r.traffic.app_b_bytes)
+            .counter(&format!("fuse_req_bytes_{label}"), r.traffic.fuse_req_bytes)
+            .counter(&format!("ssd_req_bytes_{label}"), r.traffic.ssd_req_bytes);
+        last_cluster = Some(cluster);
     }
     println!();
-    check(
+    report.check(
         "column-major sends far more chunk traffic to the SSD store",
         ssd[1] > 4 * ssd[0],
     );
-    check(
+    report.check(
         "column-major inflates page-granular FUSE requests",
         fuse[1] > fuse[0],
     );
+    let cluster = last_cluster.expect("orders ran");
+    report.counters_from(&cluster).health_from(&cluster).emit();
 }

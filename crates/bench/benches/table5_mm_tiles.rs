@@ -9,7 +9,7 @@
 //! values unscaled. (At 128 ranks the scaled-down per-rank share would be
 //! smaller than the smallest tile.)
 
-use bench::{check, hal_cluster, header, Table};
+use bench::{hal_cluster, header, JsonReport, Table};
 use cluster::JobConfig;
 use workloads::matmul::{run_mm, AccessOrder, MmConfig};
 
@@ -23,8 +23,11 @@ fn main() {
     let t = Table::new(&[("Tile", 6), ("Row-major s", 12), ("Col-major s", 12)]);
     let cfg = JobConfig::local(8, 1, 1);
     let tiles = [16usize, 32, 64, 128];
+    let mut report = JsonReport::new("table5_mm_tiles");
+    report.config("n", N).config("config", cfg.label());
     let mut row_times = Vec::new();
     let mut col_times = Vec::new();
+    let mut last_cluster = None;
     for tile in tiles {
         let mut comp = [0.0f64; 2];
         for (slot, order) in [AccessOrder::RowMajor, AccessOrder::ColMajor]
@@ -44,6 +47,8 @@ fn main() {
             .unwrap();
             comp[slot] = r.stages.computing.as_secs_f64();
             bench::store_health(&format!("tile {tile} {order:?}"), &cluster);
+            report.value(&format!("computing_s_tile{tile}_{order:?}"), comp[slot]);
+            last_cluster = Some(cluster);
         }
         t.row(&[
             tile.to_string(),
@@ -54,18 +59,20 @@ fn main() {
         col_times.push(comp[1]);
     }
     println!();
-    check(
+    report.check(
         "column-major improves monotonically with larger tiles (paper: 2058s→916s)",
         col_times.windows(2).all(|w| w[1] < w[0]),
     );
     let row_spread = row_times.iter().cloned().fold(f64::MIN, f64::max)
         / row_times.iter().cloned().fold(f64::MAX, f64::min);
-    check(
+    report.check(
         "row-major is insensitive to tile size (paper: ~flat)",
         row_spread < 1.30,
     );
-    check(
+    report.check(
         "column-major stays slower than row-major at every tile",
         col_times.iter().zip(&row_times).all(|(c, r)| c > r),
     );
+    let cluster = last_cluster.expect("tiles ran");
+    report.counters_from(&cluster).health_from(&cluster).emit();
 }

@@ -10,7 +10,7 @@
 //! Paper: L-SSD is ~10× faster than the two-pass DRAM baseline; R-SSD is
 //! slower than L-SSD but still sorts in one pass.
 
-use bench::{check, hal_cluster_scaled, header, Table, SORT_SCALE};
+use bench::{hal_cluster_scaled, header, JsonReport, Table, SORT_SCALE};
 use cluster::JobConfig;
 use workloads::qsort::{run_sort_dram_two_pass, run_sort_hybrid, SortConfig};
 
@@ -81,20 +81,33 @@ fn main() {
     println!();
     let speedup = dram.time.as_secs_f64() / l.time.as_secs_f64();
     println!("L-SSD(8:16:16) speedup over two-pass DRAM: {speedup:.1}x (paper: ~10x)");
-    check(
+    let mut report = JsonReport::new("table6_qsort");
+    report
+        .config("sort_scale", SORT_SCALE)
+        .config("total_elems", total as u64);
+    report
+        .value("dram_two_pass_s", dram.time)
+        .value("l_ssd_s", l.time)
+        .value("r_ssd_s", r.time)
+        .value("speedup_l_vs_dram", speedup);
+    report.check(
         "every configuration produces a verified sorted permutation",
         dram.verified && l.verified && r.verified,
     );
-    check(
+    report.check(
         "hybrid sorts in one pass, DRAM-only needs two",
         l.passes == 1 && dram.passes == 2,
     );
-    check(
+    report.check(
         "L-SSD hybrid is several times faster than two-pass DRAM (paper: 10x)",
         speedup > 3.0,
     );
-    check(
+    report.check(
         "R-SSD (half the nodes, more NVM) is slower than L-SSD but beats two-pass",
         r.time > l.time && r.time < dram.time,
     );
+    report
+        .counters_from(&r_cluster)
+        .health_from(&r_cluster)
+        .emit();
 }

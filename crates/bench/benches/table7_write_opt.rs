@@ -6,7 +6,7 @@
 //! whole 256 KiB chunk travels. Paper: 504 MB vs 19.3 GB to the SSD for
 //! the same ~470 MB of page-granular traffic into FUSE.
 
-use bench::{check, header, mib, scaled_fuse, Table, SCALE};
+use bench::{header, mib, scaled_fuse, JsonReport, Table, SCALE};
 use cluster::{Cluster, ClusterSpec, JobConfig};
 use fusemm::FuseConfig;
 use workloads::randwrite::{run_randwrite, RandWriteConfig, RandWriteReport};
@@ -31,7 +31,7 @@ fn main() {
         seed: 11,
     };
 
-    let run = |optimized: bool| -> RandWriteReport {
+    let run = |optimized: bool| -> (RandWriteReport, Cluster) {
         let cluster = Cluster::with_fuse(
             ClusterSpec::hal().scaled(SCALE),
             &cfg.benefactor_nodes(),
@@ -42,11 +42,11 @@ fn main() {
         );
         let r = run_randwrite(&cluster, &cfg, &rw, optimized);
         bench::store_health(if optimized { "w/ opt" } else { "w/o opt" }, &cluster);
-        r
+        (r, cluster)
     };
 
-    let opt = run(true);
-    let unopt = run(false);
+    let (opt, _opt_cluster) = run(true);
+    let (unopt, unopt_cluster) = run(false);
 
     let t = Table::new(&[
         ("NVMalloc write opt.", 20),
@@ -72,14 +72,30 @@ fn main() {
     println!();
     let reduction = unopt.data_to_ssd as f64 / opt.data_to_ssd as f64;
     println!("SSD-volume reduction: {reduction:.1}x (paper: 19.3 GB / 504 MB = 38x)");
-    check(
+    let mut report = JsonReport::new("table7_write_opt");
+    report
+        .config("scale", SCALE)
+        .config("region_bytes", region)
+        .config("writes", writes);
+    report
+        .counter("opt_data_to_fuse", opt.data_to_fuse)
+        .counter("opt_data_to_ssd", opt.data_to_ssd)
+        .counter("unopt_data_to_ssd", unopt.data_to_ssd)
+        .value("opt_time_s", opt.time)
+        .value("unopt_time_s", unopt.time)
+        .value("ssd_volume_reduction", reduction);
+    report.check(
         "to-FUSE volume identical in both modes (paper: 467 vs 471 MB)",
         opt.data_to_fuse == unopt.data_to_fuse,
     );
-    check(
+    report.check(
         "optimization cuts SSD volume by an order of magnitude (paper: 38x)",
         reduction > 10.0,
     );
-    check("optimization also cuts runtime", opt.time < unopt.time);
-    check("both runs verified", opt.verified && unopt.verified);
+    report.check("optimization also cuts runtime", opt.time < unopt.time);
+    report.check("both runs verified", opt.verified && unopt.verified);
+    report
+        .counters_from(&unopt_cluster)
+        .health_from(&unopt_cluster)
+        .emit();
 }

@@ -148,3 +148,273 @@ pub fn check(name: &str, ok: bool) {
         name
     );
 }
+
+// ----- machine-readable reports (BENCH_<name>.json) --------------------------
+
+/// A JSON value with insertion-ordered objects, so emitted reports are
+/// byte-stable across runs (the CI smoke diff in scripts/check.sh relies
+/// on that). Hand-rolled: the workspace deliberately has no serde.
+#[derive(Clone, Debug)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    UInt(u64),
+    Int(i64),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Insert/replace a key of an object (panics on non-objects).
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) -> &mut Self {
+        let Json::Obj(fields) = self else {
+            panic!("Json::set on a non-object");
+        };
+        let value = value.into();
+        match fields.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => fields.push((key.to_string(), value)),
+        }
+        self
+    }
+
+    fn escape(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let pad1 = "  ".repeat(indent + 1);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => out.push_str(&n.to_string()),
+            Json::Int(n) => out.push_str(&n.to_string()),
+            // Fixed decimals: shortest-roundtrip float printing is stable
+            // per build but uglier to diff; 6 decimals is plenty for
+            // virtual times (micro precision at second scale).
+            Json::Num(x) => out.push_str(&format!("{x:.6}")),
+            Json::Str(s) => Json::escape(s, out),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad1);
+                    item.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&pad1);
+                    Json::escape(k, out);
+                    out.push_str(": ");
+                    v.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl From<VTime> for Json {
+    fn from(v: VTime) -> Json {
+        Json::Num(v.as_secs_f64())
+    }
+}
+
+/// The standard machine-readable report every bench target emits next to
+/// its printed tables: experiment name, configuration, virtual times,
+/// counters of interest, shape-check verdicts, and the store-health
+/// footer.
+pub struct JsonReport {
+    name: String,
+    config: Json,
+    times: Json,
+    counters: Json,
+    checks: Json,
+    health: Json,
+}
+
+impl JsonReport {
+    pub fn new(name: &str) -> Self {
+        JsonReport {
+            name: name.to_string(),
+            config: Json::obj(),
+            times: Json::obj(),
+            counters: Json::obj(),
+            checks: Json::obj(),
+            health: Json::Null,
+        }
+    }
+
+    /// Record a configuration fact (scale, sizes, flags, …).
+    pub fn config(&mut self, key: &str, value: impl Into<Json>) -> &mut Self {
+        self.config.set(key, value);
+        self
+    }
+
+    /// Record a virtual time (seconds, 6 decimals).
+    pub fn time(&mut self, key: &str, t: VTime) -> &mut Self {
+        self.times.set(key, t);
+        self
+    }
+
+    /// Record an arbitrary numeric result under `times` (rates, speedups).
+    pub fn value(&mut self, key: &str, v: impl Into<Json>) -> &mut Self {
+        self.times.set(key, v);
+        self
+    }
+
+    /// Record one counter value.
+    pub fn counter(&mut self, key: &str, v: u64) -> &mut Self {
+        self.counters.set(key, v);
+        self
+    }
+
+    /// Record every counter currently in the cluster's registry.
+    pub fn counters_from(&mut self, cluster: &Cluster) -> &mut Self {
+        for (k, v) in cluster.stats.snapshot().values {
+            self.counters.set(&k, v);
+        }
+        self
+    }
+
+    /// A shape assertion: printed like [`check`] AND recorded in the
+    /// report.
+    pub fn check(&mut self, name: &str, ok: bool) -> &mut Self {
+        check(name, ok);
+        self.checks.set(name, ok);
+        self
+    }
+
+    /// The health footer: SSD wear plus fault/replication counters
+    /// (mirrors [`store_health`]).
+    pub fn health_from(&mut self, cluster: &Cluster) -> &mut Self {
+        let wear = cluster.store.wear_reports();
+        let mut h = Json::obj();
+        let total: u64 = wear.iter().map(|(_, w)| w.bytes_written).sum();
+        let worst: u64 = wear.iter().map(|(_, w)| w.bytes_written).max().unwrap_or(0);
+        h.set("wear_total_bytes", total);
+        h.set("wear_worst_bytes", worst);
+        let s = &cluster.stats;
+        for key in [
+            "store.benefactor_crashes",
+            "store.benefactor_recoveries",
+            "store.failovers",
+            "store.degraded_reads",
+            "store.repairs_chunks",
+            "store.repairs_bytes",
+        ] {
+            h.set(key, s.get(key));
+        }
+        self.health = h;
+        self
+    }
+
+    /// Write `BENCH_<name>.json` and print where it went.
+    pub fn emit(&self) {
+        let mut root = Json::obj();
+        root.set("experiment", self.name.as_str());
+        root.set("config", self.config.clone());
+        root.set("times", self.times.clone());
+        root.set("counters", self.counters.clone());
+        root.set("checks", self.checks.clone());
+        root.set("health", self.health.clone());
+        emit_json(&self.name, &root);
+    }
+}
+
+/// Write `BENCH_<name>.json` into `$BENCH_JSON_DIR` (default
+/// `target/bench-json`, relative to the invocation directory — for
+/// `cargo bench` that is the workspace root).
+pub fn emit_json(name: &str, report: &Json) {
+    let dir = std::env::var("BENCH_JSON_DIR").unwrap_or_else(|_| "target/bench-json".to_string());
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("  [json] cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("BENCH_{name}.json"));
+    match std::fs::write(&path, report.render()) {
+        Ok(()) => println!("  [json] wrote {}", path.display()),
+        Err(e) => eprintln!("  [json] cannot write {}: {e}", path.display()),
+    }
+}

@@ -13,16 +13,20 @@
 //! * [`benefactor`] — the SSD-backed chunk server;
 //! * [`manager`] — metadata: allocation, striping, health, linking;
 //! * [`store`] — the timed client-facing facade charging RPC, network and
-//!   SSD costs.
+//!   SSD costs;
+//! * [`loc_cache`] — client-side chunk-location cache (epoch-invalidated)
+//!   feeding the batched, pipelined data path.
 
 pub mod benefactor;
 pub mod error;
 pub mod ids;
+pub mod loc_cache;
 pub mod manager;
 pub mod store;
 
 pub use benefactor::Benefactor;
 pub use error::{Result, StoreError};
 pub use ids::{BenefactorId, ChunkId, FileId};
+pub use loc_cache::LocationCache;
 pub use manager::{ChunkMeta, FileMeta, Manager, PlacementPolicy, Slot, StripeSpec, StripeWidth};
-pub use store::{AggregateStore, ChunkPayload, RepairReport, StoreConfig};
+pub use store::{AggregateStore, BatchWrite, ChunkPayload, RepairReport, StoreConfig};

@@ -165,6 +165,12 @@ pub struct Manager {
     next_file: u64,
     next_chunk: u64,
     stripe_cursor: usize,
+    /// Bumped on every placement-affecting mutation (chunk materialized or
+    /// re-homed, benefactor liveness change, repair, reconcile, file
+    /// deletion/linking). Client-side location caches compare their stored
+    /// epoch against this to decide whether a cached chunk → home mapping
+    /// is still authoritative (see `crate::loc_cache::LocationCache`).
+    placement_epoch: u64,
 }
 
 impl Manager {
@@ -180,11 +186,23 @@ impl Manager {
             next_file: 0,
             next_chunk: 0,
             stripe_cursor: 0,
+            placement_epoch: 0,
         }
     }
 
     pub fn chunk_size(&self) -> u64 {
         self.chunk_size
+    }
+
+    /// Current placement epoch (see the field doc).
+    pub fn placement_epoch(&self) -> u64 {
+        self.placement_epoch
+    }
+
+    /// Invalidate every client-side location cache: any event that can
+    /// change where a chunk's authoritative copies live bumps this.
+    pub(crate) fn bump_placement_epoch(&mut self) {
+        self.placement_epoch += 1;
     }
 
     // ----- benefactor fleet -------------------------------------------------
@@ -388,6 +406,7 @@ impl Manager {
     pub fn delete_file(&mut self, id: FileId) -> Result<()> {
         let meta = self.files.remove(&id).ok_or(StoreError::NoSuchFile)?;
         self.by_name.remove(&meta.name);
+        self.bump_placement_epoch();
         for (i, slot) in meta.slots.iter().enumerate() {
             match slot {
                 Slot::Unmaterialized => {
@@ -417,6 +436,7 @@ impl Manager {
             for home in meta.homes {
                 self.benefactors[home.0].drop_chunk(c);
             }
+            self.bump_placement_epoch();
         }
     }
 
@@ -445,6 +465,7 @@ impl Manager {
         self.next_chunk += 1;
         self.chunk_refs.insert(id, 1);
         self.chunk_meta.insert(id, ChunkMeta { homes, target });
+        self.bump_placement_epoch();
         id
     }
 
@@ -454,6 +475,7 @@ impl Manager {
         let meta = self.chunk_meta.get_mut(&c).expect("unknown chunk");
         meta.homes.retain(|&h| h != home);
         assert!(!meta.homes.is_empty(), "chunk {c} lost its last home");
+        self.bump_placement_epoch();
     }
 
     /// Record a freshly repaired copy of `c` on `home`.
@@ -461,6 +483,7 @@ impl Manager {
         let meta = self.chunk_meta.get_mut(&c).expect("unknown chunk");
         debug_assert!(!meta.homes.contains(&home), "duplicate home");
         meta.homes.push(home);
+        self.bump_placement_epoch();
     }
 
     /// Chunks whose live copy count is below target, with a live donor.
@@ -519,6 +542,7 @@ impl Manager {
             self.benefactors[b.0].drop_chunk(c);
             self.remove_chunk_home(c, b);
         }
+        self.bump_placement_epoch();
         stale.len() + over.len()
     }
 
@@ -527,6 +551,7 @@ impl Manager {
     pub(crate) fn set_slot(&mut self, id: FileId, idx: usize, slot: Slot) {
         let meta = self.files.get_mut(&id).expect("set_slot on missing file");
         meta.slots[idx] = slot;
+        self.bump_placement_epoch();
     }
 
     /// Link every slot of `src` to the end of `dst` — the zero-copy
@@ -549,6 +574,7 @@ impl Manager {
         // A linked region is sized in whole chunks.
         dst_meta.size = dst_meta.slots.len() as u64 * chunk_size + src_meta.size;
         dst_meta.slots.extend(appended);
+        self.bump_placement_epoch();
         Ok(())
     }
 

@@ -8,13 +8,15 @@
 
 use crate::benefactor::Benefactor;
 use crate::error::{Result, StoreError};
-use crate::ids::{BenefactorId, FileId};
+use crate::ids::{BenefactorId, ChunkId, FileId};
+use crate::loc_cache::{CachedLoc, LocationCache};
 use crate::manager::{Manager, PlacementPolicy, Slot, StripeSpec};
 use devices::WearReport;
 use faults::{FaultEvent, FaultPlan};
 use netsim::{LinkFault, Network};
 use parking_lot::{Mutex, MutexGuard};
 use simcore::{Counter, StatsRegistry, VTime};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Aggregate store configuration.
@@ -51,6 +53,17 @@ impl Default for StoreConfig {
             retry_backoff: VTime::from_millis(5),
         }
     }
+}
+
+/// One chunk's worth of dirty-page runs in a batched write-back (see
+/// [`AggregateStore::write_pages_batch`]).
+#[derive(Clone, Copy, Debug)]
+pub struct BatchWrite<'a> {
+    pub file: FileId,
+    pub idx: usize,
+    /// `(offset_within_chunk, bytes)` runs, same contract as
+    /// [`AggregateStore::write_pages`].
+    pub updates: &'a [(u64, &'a [u8])],
 }
 
 /// What a chunk fetch returns.
@@ -93,6 +106,8 @@ pub struct AggregateStore {
     repairs_bytes: Counter,
     benefactor_crashes: Counter,
     benefactor_recoveries: Counter,
+    batched_fetches: Counter,
+    batched_writes: Counter,
 }
 
 impl AggregateStore {
@@ -114,6 +129,8 @@ impl AggregateStore {
             repairs_bytes: stats.counter("store.repairs_bytes"),
             benefactor_crashes: stats.counter("store.benefactor_crashes"),
             benefactor_recoveries: stats.counter("store.benefactor_recoveries"),
+            batched_fetches: stats.counter("store.batched_fetches"),
+            batched_writes: stats.counter("store.batched_writes"),
         }
     }
 
@@ -392,6 +409,195 @@ impl AggregateStore {
         }
     }
 
+    /// Batched multi-benefactor fetch: resolve *all* targets with one
+    /// manager RPC (or none, when a [`LocationCache`] still holds valid
+    /// resolutions), then pull the chunks with per-benefactor pipelining.
+    ///
+    /// Cost model (DESIGN.md §8): each benefactor's chain — request →
+    /// SSD read → transfer back — runs *serially* on that benefactor
+    /// (chunk `i+1`'s request leaves when chunk `i`'s response arrives),
+    /// but chains on distinct benefactors proceed concurrently from the
+    /// shared resolution time. Shared resources (the client's NIC, each
+    /// benefactor's SSD/NIC) still queue correctly because chains are
+    /// issued in non-decreasing virtual-time order against the FIFO
+    /// `Resource` registers. Per-chunk completion is its own response
+    /// arrival, returned in input order.
+    ///
+    /// Fault semantics match the serial path per entry: a degraded pick
+    /// counts a failover, and a target with *no* serviceable copy at
+    /// batch time falls back to the serial [`Self::fetch_chunk`] retry
+    /// loop independently of its batch-mates.
+    pub fn fetch_chunks(
+        &self,
+        t: VTime,
+        client_node: usize,
+        targets: &[(FileId, usize)],
+        cache: Option<&LocationCache>,
+    ) -> Result<Vec<(VTime, ChunkPayload)>> {
+        if targets.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.poll_faults(t);
+        self.batched_fetches.inc();
+
+        // Resolve from the location cache where the epoch allows.
+        let mut resolved: Vec<Option<CachedLoc>> = {
+            let epoch = self.mgr.lock().placement_epoch();
+            targets
+                .iter()
+                .map(|&key| cache.and_then(|c| c.lookup(epoch, key)))
+                .collect()
+        };
+
+        // One shared RPC covers every unresolved target; a fully cached
+        // batch skips the manager round-trip entirely.
+        let any_miss = resolved.iter().any(|r| r.is_none());
+        let t0 = if any_miss {
+            self.mgr_rpc(t, client_node)
+        } else {
+            t
+        };
+        if any_miss {
+            let mgr = self.mgr.lock();
+            let epoch = mgr.placement_epoch();
+            for (i, &(file, idx)) in targets.iter().enumerate() {
+                if resolved[i].is_some() {
+                    continue;
+                }
+                let meta = mgr.file(file)?;
+                if idx >= meta.slots.len() {
+                    return Err(StoreError::OutOfBounds {
+                        file,
+                        offset: idx as u64 * self.cfg.chunk_size,
+                        len: self.cfg.chunk_size,
+                        size: meta.size,
+                    });
+                }
+                let loc = match meta.slots[idx] {
+                    Slot::Unmaterialized | Slot::Hole => CachedLoc::Zeros,
+                    Slot::Chunk(c) => CachedLoc::Chunk {
+                        chunk: c,
+                        homes: mgr
+                            .chunk_homes(c)
+                            .expect("chunk without home")
+                            .iter()
+                            .map(|&h| (h, mgr.benefactor(h).node))
+                            .collect(),
+                    },
+                };
+                if let Some(cache) = cache {
+                    cache.insert(epoch, (file, idx), loc.clone());
+                }
+                resolved[i] = Some(loc);
+            }
+        }
+
+        // Plan each target: zeros, a benefactor chain, or the serial
+        // fallback when no listed copy is serviceable right now.
+        enum Plan {
+            Zeros,
+            Chain {
+                home: BenefactorId,
+                node: usize,
+                chunk: ChunkId,
+                degraded: bool,
+            },
+            Fallback,
+        }
+        let plan: Vec<Plan> = {
+            let mgr = self.mgr.lock();
+            resolved
+                .iter()
+                .map(|loc| match loc.as_ref().expect("all targets resolved") {
+                    CachedLoc::Zeros => Plan::Zeros,
+                    CachedLoc::Chunk { chunk, homes } => {
+                        let pick = homes.iter().enumerate().find(|(_, &(h, node))| {
+                            mgr.benefactor(h).is_alive() && self.net.reachable(node, client_node)
+                        });
+                        match pick {
+                            Some((rank, &(home, node))) => Plan::Chain {
+                                home,
+                                node,
+                                chunk: *chunk,
+                                degraded: rank > 0,
+                            },
+                            None => Plan::Fallback,
+                        }
+                    }
+                })
+                .collect()
+        };
+
+        // Group chains per benefactor (input order within a group) and
+        // drain them min-cursor-first so resource requests are issued in
+        // non-decreasing virtual time.
+        let mut groups: BTreeMap<BenefactorId, (VTime, Vec<usize>)> = BTreeMap::new();
+        for (i, p) in plan.iter().enumerate() {
+            if let Plan::Chain { home, .. } = p {
+                groups.entry(*home).or_insert((t0, Vec::new())).1.push(i);
+            }
+        }
+        let mut out: Vec<Option<(VTime, ChunkPayload)>> = Vec::new();
+        out.resize_with(targets.len(), || None);
+        loop {
+            let next = groups
+                .iter()
+                .filter(|(_, (_, order))| !order.is_empty())
+                .min_by_key(|(home, (at, _))| (*at, **home))
+                .map(|(&home, _)| home);
+            let Some(home) = next else { break };
+            let (at, order) = groups.get_mut(&home).expect("group exists");
+            let i = order.remove(0);
+            let Plan::Chain {
+                node,
+                chunk,
+                degraded,
+                ..
+            } = plan[i]
+            else {
+                unreachable!("grouped entries are chains")
+            };
+            self.chunk_fetches.inc();
+            if degraded {
+                self.failovers.inc();
+                self.degraded_reads.inc();
+            }
+            let req = self
+                .net
+                .transfer_at(*at, client_node, node, self.cfg.rpc_bytes);
+            let (grant, data) = {
+                let mgr = self.mgr.lock();
+                mgr.benefactor(home).read_chunk(req.arrived, chunk)
+            };
+            let resp = self
+                .net
+                .transfer_at(grant.end, node, client_node, self.cfg.chunk_size);
+            self.bytes_to_clients.add(self.cfg.chunk_size);
+            *at = resp.arrived;
+            out[i] = Some((resp.arrived, ChunkPayload::Data(data)));
+        }
+
+        // Zeros and fallbacks fill in the gaps.
+        for (i, p) in plan.iter().enumerate() {
+            match p {
+                Plan::Zeros => {
+                    self.chunk_fetches.inc();
+                    self.zero_fills.inc();
+                    out[i] = Some((t0, ChunkPayload::Zeros));
+                }
+                Plan::Fallback => {
+                    let (file, idx) = targets[i];
+                    out[i] = Some(self.fetch_chunk(t0, client_node, file, idx)?);
+                }
+                Plan::Chain { .. } => {}
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|e| e.expect("all entries filled"))
+            .collect())
+    }
+
     /// Write back dirty pages of chunk `idx` (the FUSE eviction path).
     ///
     /// `updates` are `(offset_within_chunk, bytes)` runs. Handles all
@@ -417,6 +623,42 @@ impl AggregateStore {
         idx: usize,
         updates: &[(u64, &[u8])],
     ) -> Result<VTime> {
+        self.validate_updates(updates);
+        self.poll_faults(t);
+        let t = self.mgr_rpc(t, client_node);
+        self.write_pages_resolved(t, client_node, file, idx, updates)
+    }
+
+    /// Batched write-back: one manager RPC covers every entry, then each
+    /// entry's transfer + SSD chain is issued from the shared resolution
+    /// time in input order — entries bound for distinct benefactors
+    /// overlap, same-benefactor entries queue FIFO on its resources.
+    /// Returns per-entry completion times in input order (a flush's
+    /// completion is their max). Replication semantics per entry are
+    /// identical to [`Self::write_pages`]: each entry independently ships
+    /// to every live home and drops dead ones.
+    pub fn write_pages_batch(
+        &self,
+        t: VTime,
+        client_node: usize,
+        entries: &[BatchWrite<'_>],
+    ) -> Result<Vec<VTime>> {
+        if entries.is_empty() {
+            return Ok(Vec::new());
+        }
+        for e in entries {
+            self.validate_updates(e.updates);
+        }
+        self.poll_faults(t);
+        self.batched_writes.inc();
+        let t0 = self.mgr_rpc(t, client_node);
+        entries
+            .iter()
+            .map(|e| self.write_pages_resolved(t0, client_node, e.file, e.idx, e.updates))
+            .collect()
+    }
+
+    fn validate_updates(&self, updates: &[(u64, &[u8])]) {
         let dirty_bytes: u64 = updates.iter().map(|(_, d)| d.len() as u64).sum();
         assert!(dirty_bytes > 0, "write_pages with no updates");
         for (off, data) in updates {
@@ -425,9 +667,19 @@ impl AggregateStore {
                 "update outside chunk"
             );
         }
+    }
 
-        self.poll_faults(t);
-        let t = self.mgr_rpc(t, client_node);
+    /// The post-RPC body of a page write-back: `t` is the time the
+    /// manager's resolution reply arrived.
+    fn write_pages_resolved(
+        &self,
+        t: VTime,
+        client_node: usize,
+        file: FileId,
+        idx: usize,
+        updates: &[(u64, &[u8])],
+    ) -> Result<VTime> {
+        let dirty_bytes: u64 = updates.iter().map(|(_, d)| d.len() as u64).sum();
         let mut mgr = self.mgr.lock();
         let meta = mgr.file(file)?;
         if idx >= meta.slots.len() {
@@ -664,6 +916,8 @@ impl AggregateStore {
             return;
         }
         mgr.benefactor_mut(id).set_alive(alive);
+        // Liveness changes serviceability: invalidate location caches.
+        mgr.bump_placement_epoch();
         if alive {
             mgr.reconcile_recovered(id);
             self.benefactor_recoveries.inc();

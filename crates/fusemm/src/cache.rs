@@ -107,6 +107,20 @@ impl ChunkCache {
             .map(|(k, _)| *k)
     }
 
+    /// The LRU key among entries for which `exclude` is false — victim
+    /// selection that must not evict the working set currently being
+    /// ensured (the batched data path's protection rule).
+    pub fn lru_key_excluding(
+        &self,
+        mut exclude: impl FnMut(&ChunkKey) -> bool,
+    ) -> Option<ChunkKey> {
+        self.entries
+            .iter()
+            .filter(|(k, _)| !exclude(k))
+            .min_by_key(|(_, e)| e.last_use)
+            .map(|(k, _)| *k)
+    }
+
     /// Remove an entry, returning it (for write-back of its dirty pages).
     pub fn remove(&mut self, key: &ChunkKey) -> Option<CacheEntry> {
         self.entries.remove(key)

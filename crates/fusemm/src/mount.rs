@@ -17,9 +17,10 @@
 //! same units the paper's Table IV/VII report for "requests to FUSE":
 //! mmap faults and page-cache write-backs arrive page-sized.
 
-use crate::cache::{ChunkCache, ChunkKey};
+use crate::cache::{CacheEntry, ChunkCache, ChunkKey};
 use chunkstore::{
-    AggregateStore, ChunkPayload, FileId, PlacementPolicy, Result, StoreError, StripeSpec,
+    AggregateStore, BatchWrite, ChunkPayload, FileId, LocationCache, PlacementPolicy, Result,
+    StoreError, StripeSpec,
 };
 use parking_lot::Mutex;
 use simcore::{Counter, StatsRegistry, VTime};
@@ -38,6 +39,13 @@ pub struct FuseConfig {
     pub dirty_page_writeback: bool,
     /// User/kernel crossing cost charged per FUSE operation.
     pub op_overhead: VTime,
+    /// Overlapped data path (DESIGN.md §8): multi-chunk spans fetch and
+    /// flush through the store's batched APIs (one manager RPC per batch,
+    /// per-benefactor chains overlapped, chunk-location cache), dirty
+    /// eviction becomes asynchronous, and read-ahead depth ramps
+    /// 1→`read_ahead_chunks` on a sustained stream. Off by default so the
+    /// paper-fidelity benches keep the serial §III-D data path.
+    pub pipelined_io: bool,
 }
 
 impl Default for FuseConfig {
@@ -47,6 +55,7 @@ impl Default for FuseConfig {
             read_ahead_chunks: 1,
             dirty_page_writeback: true,
             op_overhead: VTime::from_micros(4),
+            pipelined_io: false,
         }
     }
 }
@@ -58,28 +67,67 @@ const SEQ_CURSORS: usize = 16;
 
 struct MountState {
     cache: ChunkCache,
-    /// Per-file expected next offsets of detected streams (read-ahead
-    /// detector); newest cursor last.
-    seq: HashMap<FileId, Vec<u64>>,
+    /// Per-file `(expected next offset, streak length)` of detected
+    /// streams (read-ahead detector); newest cursor last. The streak
+    /// counts consecutive continuations and drives the adaptive
+    /// read-ahead ramp in pipelined mode.
+    seq: HashMap<FileId, Vec<(u64, u32)>>,
 }
 
 impl MountState {
-    /// Record a read `[offset, end)`; returns true when it continues one
-    /// of the file's known streams.
-    fn note_read(&mut self, file: FileId, offset: u64, end: u64) -> bool {
+    /// Record a read `[offset, end)`; returns the stream's streak length:
+    /// 0 for a fresh cursor, `n ≥ 1` after `n` consecutive continuations.
+    fn note_read(&mut self, file: FileId, offset: u64, end: u64) -> u32 {
         let cursors = self.seq.entry(file).or_default();
-        if let Some(pos) = cursors.iter().position(|&c| c == offset) {
-            cursors.remove(pos);
-            cursors.push(end);
-            true
+        if let Some(pos) = cursors.iter().position(|&(c, _)| c == offset) {
+            let (_, streak) = cursors.remove(pos);
+            let streak = streak.saturating_add(1);
+            cursors.push((end, streak));
+            streak
         } else {
             if cursors.len() >= SEQ_CURSORS {
                 cursors.remove(0);
             }
-            cursors.push(end);
-            false
+            cursors.push((end, 0));
+            0
         }
     }
+}
+
+/// One chunk-aligned piece of a byte span: where it sits in the chunk and
+/// where it sits in the caller's buffer.
+#[derive(Clone, Copy, Debug)]
+struct Seg {
+    idx: usize,
+    within: usize,
+    pos: usize,
+    take: usize,
+}
+
+/// Split `[offset, offset+len)` into chunk-aligned segments, with caller
+/// buffer positions starting at `pos_base`.
+fn segments_of(offset: u64, len: u64, cs: u64, pos_base: usize, out: &mut Vec<Seg>) {
+    let mut pos = 0u64;
+    while pos < len {
+        let abs = offset + pos;
+        let idx = (abs / cs) as usize;
+        let within = (abs % cs) as usize;
+        let take = ((cs - abs % cs).min(len - pos)) as usize;
+        out.push(Seg {
+            idx,
+            within,
+            pos: pos_base + pos as usize,
+            take,
+        });
+        pos += take as u64;
+    }
+}
+
+/// Direction of a pipelined span: fill the caller's buffer from cache, or
+/// apply the caller's data to cache (marking dirty pages).
+enum SpanIo<'a> {
+    Read(&'a mut [u8]),
+    Write(&'a [u8]),
 }
 
 /// A node's view of the aggregate store. Shared by all processes on the
@@ -91,6 +139,9 @@ pub struct Mount {
     node: usize,
     cfg: FuseConfig,
     state: Arc<Mutex<MountState>>,
+    /// Client-side chunk-location cache feeding the batched fetch path
+    /// (only consulted when `pipelined_io` is on).
+    loc_cache: LocationCache,
     read_req_bytes: Counter,
     write_req_bytes: Counter,
     hits: Counter,
@@ -98,6 +149,7 @@ pub struct Mount {
     evictions: Counter,
     writeback_bytes: Counter,
     readahead_fetches: Counter,
+    async_writebacks: Counter,
 }
 
 impl Mount {
@@ -113,6 +165,7 @@ impl Mount {
                 cache: ChunkCache::new(capacity, (chunk / page) as usize),
                 seq: HashMap::new(),
             })),
+            loc_cache: LocationCache::new(stats),
             read_req_bytes: stats.counter("fuse.read_req_bytes"),
             write_req_bytes: stats.counter("fuse.write_req_bytes"),
             hits: stats.counter("fuse.hits"),
@@ -120,6 +173,7 @@ impl Mount {
             evictions: stats.counter("fuse.evictions"),
             writeback_bytes: stats.counter("fuse.writeback_bytes"),
             readahead_fetches: stats.counter("fuse.readahead_fetches"),
+            async_writebacks: stats.counter("fuse.async_writebacks"),
         }
     }
 
@@ -205,28 +259,42 @@ impl Mount {
         t += self.cfg.op_overhead;
 
         let cs = self.chunk_size();
-        let mut pos = 0usize;
-        while pos < buf.len() {
-            let abs = offset + pos as u64;
-            let idx = (abs / cs) as usize;
-            let within = (abs % cs) as usize;
-            let take = (cs as usize - within).min(buf.len() - pos);
-            t = self.ensure_chunk(t, file, idx)?;
-            {
-                let mut st = self.state.lock();
-                let entry = st.cache.peek_mut(&(file, idx)).expect("just ensured");
-                buf[pos..pos + take].copy_from_slice(&entry.data[within..within + take]);
+        if self.cfg.pipelined_io {
+            let mut segs = Vec::new();
+            segments_of(offset, buf.len() as u64, cs, 0, &mut segs);
+            t = self.pipelined_span(t, file, &segs, SpanIo::Read(buf))?;
+        } else {
+            let mut pos = 0usize;
+            while pos < buf.len() {
+                let abs = offset + pos as u64;
+                let idx = (abs / cs) as usize;
+                let within = (abs % cs) as usize;
+                let take = (cs as usize - within).min(buf.len() - pos);
+                t = self.ensure_chunk(t, file, idx)?;
+                {
+                    let mut st = self.state.lock();
+                    let entry = st.cache.peek_mut(&(file, idx)).expect("just ensured");
+                    buf[pos..pos + take].copy_from_slice(&entry.data[within..within + take]);
+                }
+                pos += take;
             }
-            pos += take;
         }
 
-        // Sequential stream detection → asynchronous read-ahead.
-        let sequential = {
+        // Sequential stream detection → asynchronous read-ahead. In
+        // pipelined mode the depth ramps with the streak (a one-off
+        // continuation prefetches one chunk; a sustained stream earns the
+        // full configured depth); the serial path keeps the fixed depth.
+        let streak = {
             let mut st = self.state.lock();
             st.note_read(file, offset, offset + buf.len() as u64)
         };
-        if sequential && self.cfg.read_ahead_chunks > 0 {
-            self.read_ahead(t, file, offset + buf.len() as u64)?;
+        if streak > 0 && self.cfg.read_ahead_chunks > 0 {
+            let depth = if self.cfg.pipelined_io {
+                (streak as usize).min(self.cfg.read_ahead_chunks)
+            } else {
+                self.cfg.read_ahead_chunks
+            };
+            self.read_ahead(t, file, offset + buf.len() as u64, depth)?;
         }
         Ok(t)
     }
@@ -257,26 +325,47 @@ impl Mount {
         t += self.cfg.op_overhead;
 
         let cs = self.chunk_size();
-        for r in 0..count {
-            let start = offset + r * stride;
-            self.read_req_bytes.add(self.page_rounded(start, run_len));
-            let out_base = (r * run_len) as usize;
-            let mut pos = 0usize;
-            while (pos as u64) < run_len {
-                let abs = start + pos as u64;
-                let idx = (abs / cs) as usize;
-                let within = (abs % cs) as usize;
-                let take = (cs as usize - within).min((run_len as usize) - pos);
-                t = self.ensure_chunk(t, file, idx)?;
-                let mut st = self.state.lock();
-                let entry = st.cache.peek_mut(&(file, idx)).expect("just ensured");
-                out[out_base + pos..out_base + pos + take]
-                    .copy_from_slice(&entry.data[within..within + take]);
-                pos += take;
+        if self.cfg.pipelined_io {
+            let mut segs = Vec::new();
+            for r in 0..count {
+                let start = offset + r * stride;
+                self.read_req_bytes.add(self.page_rounded(start, run_len));
+                segments_of(start, run_len, cs, (r * run_len) as usize, &mut segs);
+            }
+            t = self.pipelined_span(t, file, &segs, SpanIo::Read(out))?;
+        } else {
+            for r in 0..count {
+                let start = offset + r * stride;
+                self.read_req_bytes.add(self.page_rounded(start, run_len));
+                let out_base = (r * run_len) as usize;
+                let mut pos = 0usize;
+                while (pos as u64) < run_len {
+                    let abs = start + pos as u64;
+                    let idx = (abs / cs) as usize;
+                    let within = (abs % cs) as usize;
+                    let take = (cs as usize - within).min((run_len as usize) - pos);
+                    t = self.ensure_chunk(t, file, idx)?;
+                    let mut st = self.state.lock();
+                    let entry = st.cache.peek_mut(&(file, idx)).expect("just ensured");
+                    out[out_base + pos..out_base + pos + take]
+                        .copy_from_slice(&entry.data[within..within + take]);
+                    pos += take;
+                }
             }
         }
-        // A strided burst is not a sequential stream: reset the detector.
-        self.state.lock().seq.remove(&file);
+        // A strided burst is not a sequential stream — but it must only
+        // disturb streams it actually collided with: drop the cursors whose
+        // expected next offset falls inside the strided range, and leave
+        // unrelated streams (other regions of the file) intact.
+        {
+            let mut st = self.state.lock();
+            if let Some(cursors) = st.seq.get_mut(&file) {
+                cursors.retain(|&(c, _)| c < offset || c >= last_end);
+                if cursors.is_empty() {
+                    st.seq.remove(&file);
+                }
+            }
+        }
         Ok(t)
     }
 
@@ -292,6 +381,11 @@ impl Mount {
 
         let cs = self.chunk_size();
         let ps = self.page_size();
+        if self.cfg.pipelined_io {
+            let mut segs = Vec::new();
+            segments_of(offset, data.len() as u64, cs, 0, &mut segs);
+            return self.pipelined_span(t, file, &segs, SpanIo::Write(data));
+        }
         let mut pos = 0usize;
         while pos < data.len() {
             let abs = offset + pos as u64;
@@ -316,6 +410,9 @@ impl Mount {
     /// Used by `ssdcheckpoint()` before chunk linking and by close paths.
     pub fn flush_file(&self, mut t: VTime, file: FileId) -> Result<VTime> {
         let keys = { self.state.lock().cache.keys_of_file(file) };
+        if self.cfg.pipelined_io {
+            return self.flush_keys_batched(t, &keys);
+        }
         for key in keys {
             t = self.flush_entry(t, key)?;
         }
@@ -342,33 +439,96 @@ impl Mount {
     /// Write back every dirty chunk of every file on this mount.
     pub fn flush_all(&self, mut t: VTime) -> Result<VTime> {
         let keys = { self.state.lock().cache.dirty_keys() };
+        if self.cfg.pipelined_io {
+            return self.flush_keys_batched(t, &keys);
+        }
         for key in keys {
             t = self.flush_entry(t, key)?;
         }
         Ok(t)
     }
 
+    /// Write back one chunk's dirty pages, shipping slices borrowed from
+    /// the cache entry under the state lock — no intermediate copy. The
+    /// dirty bits are cleared only after the store accepts the write, so a
+    /// failed flush leaves the pages dirty for a retry.
     fn flush_entry(&self, t: VTime, key: ChunkKey) -> Result<VTime> {
-        let updates: Vec<(u64, Vec<u8>)> = {
-            let mut st = self.state.lock();
-            let Some(entry) = st.cache.peek_mut(&key) else {
-                return Ok(t);
-            };
-            if !entry.dirty.any() {
-                return Ok(t);
-            }
-            let runs = entry.dirty.runs(self.page_size());
-            let updates = runs
-                .iter()
-                .map(|&(off, len)| (off, entry.data[off as usize..(off + len) as usize].to_vec()))
-                .collect();
-            entry.dirty.clear();
-            updates
+        let mut st = self.state.lock();
+        let Some(entry) = st.cache.peek_mut(&key) else {
+            return Ok(t);
         };
-        let refs: Vec<(u64, &[u8])> = updates.iter().map(|(o, d)| (*o, d.as_slice())).collect();
-        let bytes: u64 = refs.iter().map(|(_, d)| d.len() as u64).sum();
+        if !entry.dirty.any() {
+            return Ok(t);
+        }
+        let CacheEntry { data, dirty, .. } = entry;
+        let runs = dirty.runs(self.page_size());
+        let updates: Vec<(u64, &[u8])> = runs
+            .iter()
+            .map(|&(off, len)| (off, &data[off as usize..(off + len) as usize]))
+            .collect();
+        let bytes: u64 = updates.iter().map(|(_, d)| d.len() as u64).sum();
         self.writeback_bytes.add(bytes);
-        self.store.write_pages(t, self.node, key.0, key.1, &refs)
+        let end = self
+            .store
+            .write_pages(t, self.node, key.0, key.1, &updates)?;
+        drop(updates);
+        dirty.clear();
+        Ok(end)
+    }
+
+    /// Batched flush (pipelined mode): one manager RPC for the whole set,
+    /// per-benefactor write chains overlapped across benefactors. Slices
+    /// are borrowed from the cache entries under the state lock; dirty
+    /// bits clear only after the store accepts the batch. Returns the
+    /// latest per-entry completion (the flush barrier).
+    fn flush_keys_batched(&self, t: VTime, keys: &[ChunkKey]) -> Result<VTime> {
+        let ps = self.page_size();
+        let mut st = self.state.lock();
+        let dirty: Vec<(ChunkKey, Vec<(u64, u64)>)> = keys
+            .iter()
+            .filter_map(|key| {
+                let e = st.cache.peek(key)?;
+                if e.dirty.any() {
+                    Some((*key, e.dirty.runs(ps)))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if dirty.is_empty() {
+            return Ok(t);
+        }
+        let updates: Vec<Vec<(u64, &[u8])>> = dirty
+            .iter()
+            .map(|(key, runs)| {
+                let e = st.cache.peek(key).expect("collected above");
+                runs.iter()
+                    .map(|&(off, len)| (off, &e.data[off as usize..(off + len) as usize]))
+                    .collect()
+            })
+            .collect();
+        let entries: Vec<BatchWrite<'_>> = dirty
+            .iter()
+            .zip(&updates)
+            .map(|((key, _), u)| BatchWrite {
+                file: key.0,
+                idx: key.1,
+                updates: u,
+            })
+            .collect();
+        let bytes: u64 = updates.iter().flatten().map(|(_, d)| d.len() as u64).sum();
+        self.writeback_bytes.add(bytes);
+        let times = self.store.write_pages_batch(t, self.node, &entries)?;
+        drop(entries);
+        drop(updates);
+        for (key, _) in &dirty {
+            st.cache.peek_mut(key).expect("still cached").dirty.clear();
+        }
+        let mut end = t;
+        for tt in times {
+            end = end.max(tt);
+        }
+        Ok(end)
     }
 
     // ----- internals ----------------------------------------------------------
@@ -451,14 +611,51 @@ impl Mount {
         self.store.write_pages(t, self.node, key.0, key.1, &updates)
     }
 
-    /// Asynchronous prefetch of the chunks following `from_offset`.
-    /// Charges the store-side resources but not the caller's clock; a
-    /// later hit waits on `ready_at` if the data has not "arrived" yet.
-    fn read_ahead(&self, t: VTime, file: FileId, from_offset: u64) -> Result<()> {
+    /// Asynchronous prefetch of up to `depth` chunks following
+    /// `from_offset`. Charges the store-side resources but not the
+    /// caller's clock; a later hit waits on `ready_at` if the data has not
+    /// "arrived" yet. In pipelined mode the whole prefetch window goes
+    /// through the batched fetch path (one manager RPC, overlapped
+    /// chains) and dirty victims are written back asynchronously; the
+    /// serial path keeps the conservative never-evict-dirty rule.
+    fn read_ahead(&self, t: VTime, file: FileId, from_offset: u64, depth: usize) -> Result<()> {
         let cs = self.chunk_size();
         let n_chunks = self.store.chunk_count(file)?;
         let first = (from_offset / cs) as usize + usize::from(!from_offset.is_multiple_of(cs));
-        for idx in first..(first + self.cfg.read_ahead_chunks).min(n_chunks) {
+        let last = (first + depth).min(n_chunks);
+        if first >= last {
+            return Ok(());
+        }
+        if self.cfg.pipelined_io {
+            let (missing, cap) = {
+                let st = self.state.lock();
+                let missing: Vec<usize> = (first..last)
+                    .filter(|&i| !st.cache.contains(&(file, i)))
+                    .collect();
+                (missing, st.cache.capacity())
+            };
+            if missing.is_empty() {
+                return Ok(());
+            }
+            let missing = &missing[..missing.len().min(cap)];
+            let t0 = self.make_room_n(t, file, missing, missing.len())?;
+            debug_assert_eq!(t0, t); // async write-back: caller clock untouched
+            let targets: Vec<(FileId, usize)> = missing.iter().map(|&i| (file, i)).collect();
+            let results = self
+                .store
+                .fetch_chunks(t, self.node, &targets, Some(&self.loc_cache))?;
+            self.readahead_fetches.add(missing.len() as u64);
+            let mut st = self.state.lock();
+            for ((ready, payload), &idx) in results.into_iter().zip(missing) {
+                let data = match payload {
+                    ChunkPayload::Zeros => vec![0u8; cs as usize].into_boxed_slice(),
+                    ChunkPayload::Data(d) => d,
+                };
+                st.cache.insert((file, idx), data, ready);
+            }
+            return Ok(());
+        }
+        for idx in first..last {
             {
                 let st = self.state.lock();
                 if st.cache.contains(&(file, idx)) {
@@ -490,5 +687,171 @@ impl Mount {
             st.cache.insert((file, idx), data, ready);
         }
         Ok(())
+    }
+
+    // ----- pipelined data path (DESIGN.md §8) --------------------------------
+
+    /// Run a chunk-segmented span through the batched data path, windowed
+    /// by cache capacity so arbitrarily large spans still fit: ensure each
+    /// window's chunks with one batched fetch, then copy every segment of
+    /// the window under a single lock. Returns the time the last chunk of
+    /// the span is usable.
+    fn pipelined_span(
+        &self,
+        mut t: VTime,
+        file: FileId,
+        segs: &[Seg],
+        mut io: SpanIo<'_>,
+    ) -> Result<VTime> {
+        let cap = { self.state.lock().cache.capacity() };
+        let ps = self.page_size();
+        let mut start = 0usize;
+        while start < segs.len() {
+            // Grow the window while its unique chunk count fits the cache.
+            // Segment chunk indices are non-decreasing (byte positions only
+            // move forward), so consecutive dedup counts unique chunks.
+            let mut end = start;
+            let mut idxs: Vec<usize> = Vec::new();
+            while end < segs.len() {
+                let idx = segs[end].idx;
+                if idxs.last() != Some(&idx) {
+                    if idxs.len() == cap {
+                        break;
+                    }
+                    idxs.push(idx);
+                }
+                end += 1;
+            }
+            t = self.ensure_chunks_list(t, file, &idxs)?;
+            {
+                let mut st = self.state.lock();
+                for s in &segs[start..end] {
+                    let entry = st.cache.peek_mut(&(file, s.idx)).expect("just ensured");
+                    match &mut io {
+                        SpanIo::Read(buf) => {
+                            buf[s.pos..s.pos + s.take]
+                                .copy_from_slice(&entry.data[s.within..s.within + s.take]);
+                        }
+                        SpanIo::Write(data) => {
+                            entry.data[s.within..s.within + s.take]
+                                .copy_from_slice(&data[s.pos..s.pos + s.take]);
+                            entry
+                                .dirty
+                                .mark_range(s.within as u64, (s.within + s.take) as u64, ps);
+                        }
+                    }
+                }
+            }
+            start = end;
+        }
+        Ok(t)
+    }
+
+    /// Make every chunk in `idxs` resident with ONE batched store fetch
+    /// for the misses; returns the time all of them are usable. Hits that
+    /// are still in flight contribute their `ready_at`; the working set
+    /// (`idxs`) is protected from eviction while room is made.
+    fn ensure_chunks_list(&self, t: VTime, file: FileId, idxs: &[usize]) -> Result<VTime> {
+        let mut ready = t;
+        let mut missing: Vec<usize> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            for &idx in idxs {
+                if let Some(entry) = st.cache.get_mut(&(file, idx)) {
+                    self.hits.inc();
+                    ready = ready.max(entry.ready_at);
+                } else {
+                    missing.push(idx);
+                }
+            }
+        }
+        if missing.is_empty() {
+            return Ok(ready);
+        }
+        self.misses.add(missing.len() as u64);
+        let t = self.make_room_n(t, file, idxs, missing.len())?;
+        let targets: Vec<(FileId, usize)> = missing.iter().map(|&i| (file, i)).collect();
+        let results = self
+            .store
+            .fetch_chunks(t, self.node, &targets, Some(&self.loc_cache))?;
+        let mut st = self.state.lock();
+        for ((ready_at, payload), &idx) in results.into_iter().zip(&missing) {
+            let data = match payload {
+                ChunkPayload::Zeros => vec![0u8; self.chunk_size() as usize].into_boxed_slice(),
+                ChunkPayload::Data(d) => d,
+            };
+            st.cache.insert((file, idx), data, ready_at);
+            ready = ready.max(ready_at);
+        }
+        Ok(ready)
+    }
+
+    /// Evict until `need` slots are free, never touching the protected
+    /// working set of `file`. Dirty victims are written back with ONE
+    /// batched store write charged at the time the victims' data is
+    /// available — but the caller's clock is NOT advanced: the write-back
+    /// proceeds in the background while the incoming fetch (whose own
+    /// completion time covers any queueing behind the write on shared
+    /// resources) overlaps it. The reader never blocks on eviction.
+    fn make_room_n(&self, t: VTime, file: FileId, protect: &[usize], need: usize) -> Result<VTime> {
+        let mut dirty_victims: Vec<(ChunkKey, CacheEntry)> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            while st.cache.capacity() - st.cache.len() < need {
+                let victim = st
+                    .cache
+                    .lru_key_excluding(|k| k.0 == file && protect.contains(&k.1))
+                    .expect("window sized within cache capacity");
+                let entry = st.cache.remove(&victim).expect("victim is cached");
+                self.evictions.inc();
+                if entry.dirty.any() {
+                    dirty_victims.push((victim, entry));
+                }
+            }
+        }
+        if dirty_victims.is_empty() {
+            return Ok(t);
+        }
+        // The write-back can only start once the victims' own data has
+        // arrived (a dirty chunk may itself still be in flight).
+        let mut start = t;
+        for (_, e) in &dirty_victims {
+            start = start.max(e.ready_at);
+        }
+        let ps = self.page_size();
+        let runs: Vec<Vec<(u64, u64)>> = dirty_victims
+            .iter()
+            .map(|(_, e)| {
+                if self.cfg.dirty_page_writeback {
+                    e.dirty.runs(ps)
+                } else {
+                    vec![(0, e.data.len() as u64)]
+                }
+            })
+            .collect();
+        let updates: Vec<Vec<(u64, &[u8])>> = dirty_victims
+            .iter()
+            .zip(&runs)
+            .map(|((_, e), rs)| {
+                rs.iter()
+                    .map(|&(off, len)| (off, &e.data[off as usize..(off + len) as usize]))
+                    .collect()
+            })
+            .collect();
+        let entries: Vec<BatchWrite<'_>> = dirty_victims
+            .iter()
+            .zip(&updates)
+            .map(|((key, _), u)| BatchWrite {
+                file: key.0,
+                idx: key.1,
+                updates: u,
+            })
+            .collect();
+        let bytes: u64 = updates.iter().flatten().map(|(_, d)| d.len() as u64).sum();
+        self.writeback_bytes.add(bytes);
+        self.async_writebacks.add(dirty_victims.len() as u64);
+        // Completion times intentionally dropped: asynchronous write-back.
+        self.store.write_pages_batch(start, self.node, &entries)?;
+        Ok(t)
     }
 }

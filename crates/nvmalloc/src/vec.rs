@@ -125,6 +125,15 @@ impl<T: Pod> NvmVec<T> {
             .add(out.len() as u64 * Self::elem_size());
         let bytes = bytes_of_mut(out);
         let byte_start = start as u64 * Self::elem_size();
+        if self.mount.config().pipelined_io {
+            // Pipelined data path (DESIGN.md §8): issue the whole span as
+            // one batched mount call — a single yield, one manager RPC for
+            // the misses, per-benefactor chains overlapped below.
+            ctx.yield_until_min();
+            let t = self.mount.read(ctx.now(), self.file, byte_start, bytes)?;
+            ctx.advance_to(t);
+            return Ok(());
+        }
         self.for_each_segment(byte_start, bytes.len() as u64, |abs, pos, take| {
             ctx.yield_until_min();
             let t = self
@@ -178,6 +187,12 @@ impl<T: Pod> NvmVec<T> {
             .add(data.len() as u64 * Self::elem_size());
         let bytes = bytes_of(data);
         let byte_start = start as u64 * Self::elem_size();
+        if self.mount.config().pipelined_io {
+            ctx.yield_until_min();
+            let t = self.mount.write(ctx.now(), self.file, byte_start, bytes)?;
+            ctx.advance_to(t);
+            return Ok(());
+        }
         self.for_each_segment(byte_start, bytes.len() as u64, |abs, pos, take| {
             ctx.yield_until_min();
             let t = self
@@ -190,8 +205,16 @@ impl<T: Pod> NvmVec<T> {
 
     /// Push all dirty cached pages of this variable to the store (used by
     /// checkpointing and before hand-off to other nodes). Flushes one
-    /// chunk per engine yield so concurrent flushers interleave correctly.
+    /// chunk per engine yield so concurrent flushers interleave correctly;
+    /// in pipelined mode the whole file flushes as one batched write
+    /// (overlapped per-benefactor chains) under a single yield.
     pub fn flush(&self, ctx: &mut ProcCtx) -> Result<()> {
+        if self.mount.config().pipelined_io {
+            ctx.yield_until_min();
+            let t = self.mount.flush_file(ctx.now(), self.file)?;
+            ctx.advance_to(t);
+            return Ok(());
+        }
         for idx in self.mount.dirty_chunks_of(self.file) {
             ctx.yield_until_min();
             let t = self.mount.flush_chunk(ctx.now(), self.file, idx)?;

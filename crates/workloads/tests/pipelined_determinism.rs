@@ -1,0 +1,80 @@
+//! With `pipelined_io` on, the data path reorders work across
+//! benefactors but must stay a deterministic simulation: the same seed
+//! reproduces identical virtual times and identical counter snapshots,
+//! and the pipelined run is never slower than its serial twin.
+
+use cluster::{Calibration, Cluster, ClusterSpec, JobConfig};
+use fusemm::FuseConfig;
+use workloads::matmul::{run_mm, MmConfig};
+use workloads::stream::{run_stream, ArrayPlace, StreamConfig, StreamKernel};
+
+fn cluster_for(cfg: &JobConfig, pipelined: bool) -> Cluster {
+    Cluster::with_fuse(
+        ClusterSpec::hal().scaled(1024),
+        &cfg.benefactor_nodes(),
+        FuseConfig {
+            cache_bytes: 2 * 1024 * 1024,
+            pipelined_io: pipelined,
+            ..FuseConfig::default()
+        },
+    )
+}
+
+fn stream_run(pipelined: bool) -> (simcore::VTime, Vec<(String, u64)>) {
+    let cfg = JobConfig::remote(1, 1, 4);
+    let cluster = cluster_for(&cfg, pipelined);
+    // 4 MiB per array: larger than the 2 MiB cache, so iteration 2 streams.
+    let scfg =
+        StreamConfig::new(512 * 1024).place(ArrayPlace::Dram, ArrayPlace::Nvm, ArrayPlace::Nvm);
+    let r = run_stream(
+        &cluster,
+        &cfg,
+        Calibration::default(),
+        &scfg,
+        StreamKernel::Triad,
+    );
+    assert!(r.verified);
+    let counters: Vec<(String, u64)> = cluster.stats.snapshot().values.into_iter().collect();
+    (r.time, counters)
+}
+
+#[test]
+fn pipelined_stream_is_deterministic() {
+    let (t1, c1) = stream_run(true);
+    let (t2, c2) = stream_run(false);
+    let (t3, c3) = stream_run(true);
+    assert_eq!(t1, t3, "same seed, same virtual makespan");
+    assert_eq!(c1, c3, "same seed, same counter snapshot");
+    assert!(
+        t1 <= t2,
+        "pipelining must not slow the stream down: {t1} vs serial {t2}"
+    );
+    assert!(
+        c1.iter()
+            .any(|(k, v)| k == "store.batched_fetches" && *v > 0),
+        "pipelined run exercised the batched path"
+    );
+    assert!(
+        c2.iter()
+            .all(|(k, v)| k != "store.batched_fetches" || *v == 0),
+        "serial run stays off the batched path"
+    );
+}
+
+#[test]
+fn pipelined_mm_is_deterministic() {
+    let run = || {
+        let cfg = JobConfig::local(2, 2, 2);
+        let cluster = cluster_for(&cfg, true);
+        let r = run_mm(&cluster, &cfg, &MmConfig::paper_2gb(128)).unwrap();
+        assert_ne!(r.verified, Some(false));
+        (
+            r.stages.total(),
+            r.traffic.ssd_req_bytes,
+            cluster.stats.get("store.batched_fetches"),
+            cluster.stats.get("store.loc_cache_hits"),
+            cluster.stats.get("fuse.async_writebacks"),
+        )
+    };
+    assert_eq!(run(), run());
+}

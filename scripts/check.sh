@@ -25,4 +25,11 @@ cargo test -q --workspace
 echo "==> cargo build --benches"
 cargo build --benches -q --workspace
 
+echo "==> pipeline_overlap smoke (serial baseline must match committed expectations)"
+smoke_dir="$(pwd)/target/bench-json-smoke"
+rm -rf "$smoke_dir"
+BENCH_JSON_DIR="$smoke_dir" cargo bench -q -p bench --bench pipeline_overlap -- --smoke
+diff -u crates/bench/expected/BENCH_pipeline_overlap_serial.json \
+    "$smoke_dir/BENCH_pipeline_overlap_serial.json"
+
 echo "All checks passed."
