@@ -15,9 +15,12 @@
 //! Run with `-- --smoke` for the CI-sized variant (scripts/check.sh diffs
 //! its serial-path JSON against a committed expectation).
 
-use bench::{header, JsonReport, Table, SCALE};
+use bench::{arg_value, header, JsonReport, Table, SCALE};
+use chunkstore::StoreConfig;
 use cluster::{Calibration, Cluster, ClusterSpec, JobConfig};
 use fusemm::FuseConfig;
+use obs::{validate_chrome_trace, Layer};
+use std::collections::{BTreeSet, HashMap};
 use workloads::matmul::{run_mm, AccessOrder, MmConfig};
 use workloads::qsort::{run_sort_hybrid, SortConfig};
 use workloads::stream::{run_stream, ArrayPlace, StreamConfig, StreamKernel};
@@ -243,6 +246,101 @@ fn main() {
         );
     }
 
+    // ----- traced demo run (separate cluster; the sweep above stays
+    // untraced so the serial JSON diff pins tracing-off timing) ----------
+    traced_demo(&mut report);
+
     report.emit();
     serial.emit();
+}
+
+/// Re-run the 4-benefactor pipelined STREAM with span tracing enabled,
+/// export the Chrome trace (to `--trace <path>` when given), and append
+/// the obs footer + trace shape checks to the report.
+fn traced_demo(report: &mut JsonReport) {
+    let z = 4;
+    let jcfg = JobConfig::remote(1, 1, z);
+    let cluster = Cluster::with_obs(
+        ClusterSpec::hal().scaled(SCALE),
+        &jcfg.benefactor_nodes(),
+        fuse(true),
+        StoreConfig::default(),
+    );
+    // B + C = 2x the 16 MiB cache, so the triad reads actually miss and
+    // the trace shows the batched multi-benefactor fetch under each read.
+    let scfg = StreamConfig {
+        iters: 1,
+        block_elems: 256 * 1024,
+        ..StreamConfig::new(2 << 20)
+    }
+    .place(ArrayPlace::Dram, ArrayPlace::Nvm, ArrayPlace::Nvm);
+    let rep = run_stream(
+        &cluster,
+        &jcfg,
+        Calibration::default(),
+        &scfg,
+        StreamKernel::Triad,
+    );
+    assert!(rep.verified, "traced STREAM data corrupted");
+    report.config("traced_demo", format!("pipelined stream_triad z={z}"));
+
+    // Walk parent links: some single client read must decompose into
+    // store fetches served by >= 2 distinct benefactors.
+    let spans = cluster.trace.spans();
+    let mut benefs_per_read: HashMap<u32, BTreeSet<u64>> = HashMap::new();
+    for s in &spans {
+        if s.name != "store.chunk_fetch" {
+            continue;
+        }
+        let Some(&(_, b)) = s.args.iter().find(|(k, _)| *k == "benefactor") else {
+            continue;
+        };
+        let mut cur = s.parent;
+        while let Some(p) = cur {
+            let ps = &spans[p as usize];
+            if ps.name == "fuse.read" {
+                benefs_per_read.entry(p).or_default().insert(b);
+                break;
+            }
+            cur = ps.parent;
+        }
+    }
+    report.check(
+        "traced: one client read fans out to >= 2 benefactors",
+        benefs_per_read.values().any(|b| b.len() >= 2),
+    );
+
+    let footer = cluster.trace.footer(10);
+    let have = |l: Layer| footer.layers.iter().any(|b| b.layer == l);
+    report.check(
+        "traced: fuse, store, net and dev layers all recorded spans",
+        have(Layer::Fuse) && have(Layer::Store) && have(Layer::Net) && have(Layer::Dev),
+    );
+    report.check(
+        "traced: read latency percentiles recorded",
+        footer.hist("lat.fuse.read").is_some() && footer.hist("lat.nvm.read").is_some(),
+    );
+
+    let text = cluster.trace.chrome_trace();
+    let valid = validate_chrome_trace(&text);
+    report.check(
+        "traced: chrome trace export validates",
+        match &valid {
+            Ok(summary) => summary.spans > 0,
+            Err(e) => {
+                eprintln!("  [trace] invalid export: {e}");
+                false
+            }
+        },
+    );
+    if let Some(path) = arg_value("--trace") {
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(&path, &text) {
+            Ok(()) => println!("  [trace] wrote {path} (load in Perfetto / chrome://tracing)"),
+            Err(e) => eprintln!("  [trace] cannot write {path}: {e}"),
+        }
+    }
+    report.obs_from(&footer);
 }

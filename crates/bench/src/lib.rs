@@ -14,6 +14,7 @@
 
 use cluster::{Cluster, ClusterSpec, JobConfig};
 use fusemm::FuseConfig;
+use obs::ObsFooter;
 use simcore::VTime;
 
 /// Capacity divisor for all experiments (except the sort, which needs a
@@ -311,6 +312,7 @@ pub struct JsonReport {
     counters: Json,
     checks: Json,
     health: Json,
+    obs: Json,
 }
 
 impl JsonReport {
@@ -322,6 +324,7 @@ impl JsonReport {
             counters: Json::obj(),
             checks: Json::obj(),
             health: Json::Null,
+            obs: Json::Null,
         }
     }
 
@@ -389,6 +392,81 @@ impl JsonReport {
         self
     }
 
+    /// The observability footer: per-layer virtual-time breakdown, top-N
+    /// slowest spans, latency-histogram percentiles and counter deltas
+    /// from a traced run (see `obs::ObsFooter`). Also prints the per-layer
+    /// percentages. No-op on a footer from a disabled recorder.
+    pub fn obs_from(&mut self, footer: &ObsFooter) -> &mut Self {
+        if footer.spans_recorded == 0 {
+            return self;
+        }
+        println!(
+            "  [obs] {} spans over {:.3} ms of virtual time",
+            footer.spans_recorded,
+            (footer.window_ns.1 - footer.window_ns.0) as f64 / 1e6
+        );
+        let mut o = Json::obj();
+        o.set(
+            "window_ns",
+            Json::Arr(vec![
+                Json::UInt(footer.window_ns.0),
+                Json::UInt(footer.window_ns.1),
+            ]),
+        );
+        o.set("spans_recorded", footer.spans_recorded);
+        o.set("spans_dropped", footer.spans_dropped);
+        o.set("instants", footer.instants);
+        let mut layers = Vec::new();
+        for l in &footer.layers {
+            let pct = footer.layer_pct(l.layer);
+            println!(
+                "  [obs]   {:<5} {:>8} spans  self {:>7.3} ms  ({:>5.1}% of self time)",
+                l.layer.as_str(),
+                l.spans,
+                l.self_ns as f64 / 1e6,
+                pct
+            );
+            let mut lj = Json::obj();
+            lj.set("layer", l.layer.as_str());
+            lj.set("spans", l.spans);
+            lj.set("inclusive_ns", l.inclusive_ns);
+            lj.set("self_ns", l.self_ns);
+            lj.set("self_pct", pct);
+            layers.push(lj);
+        }
+        o.set("layers", Json::Arr(layers));
+        let mut tops = Vec::new();
+        for s in &footer.top_spans {
+            let mut sj = Json::obj();
+            sj.set("name", s.name);
+            sj.set("layer", s.layer.as_str());
+            sj.set("lane", s.lane);
+            sj.set("start_ns", s.start_ns);
+            sj.set("dur_ns", s.dur_ns);
+            tops.push(sj);
+        }
+        o.set("top_spans", Json::Arr(tops));
+        let mut hists = Vec::new();
+        for h in &footer.hists {
+            let mut hj = Json::obj();
+            hj.set("name", h.name.as_str());
+            hj.set("count", h.count);
+            hj.set("p50_ns", h.p50_ns);
+            hj.set("p95_ns", h.p95_ns);
+            hj.set("p99_ns", h.p99_ns);
+            hj.set("max_ns", h.max_ns);
+            hists.push(hj);
+        }
+        o.set("histograms", Json::Arr(hists));
+        let mut counters = Json::obj();
+        for (k, v) in &footer.counters.values {
+            counters.set(k, *v);
+        }
+        o.set("counter_deltas", counters);
+        self.obs = o;
+        self
+    }
+
     /// Write `BENCH_<name>.json` and print where it went.
     pub fn emit(&self) {
         let mut root = Json::obj();
@@ -398,8 +476,26 @@ impl JsonReport {
         root.set("counters", self.counters.clone());
         root.set("checks", self.checks.clone());
         root.set("health", self.health.clone());
+        if !matches!(self.obs, Json::Null) {
+            root.set("obs", self.obs.clone());
+        }
         emit_json(&self.name, &root);
     }
+}
+
+/// Value of a `--flag value` pair on the bench binary's command line
+/// (e.g. `--trace out.json` on a trace-capable target), if present.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{flag}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
 }
 
 /// Write `BENCH_<name>.json` into `$BENCH_JSON_DIR` (default

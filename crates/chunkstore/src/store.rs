@@ -14,6 +14,7 @@ use crate::manager::{Manager, PlacementPolicy, Slot, StripeSpec};
 use devices::WearReport;
 use faults::{FaultEvent, FaultPlan};
 use netsim::{LinkFault, Network};
+use obs::{Layer, TraceRecorder};
 use parking_lot::{Mutex, MutexGuard};
 use simcore::{Counter, StatsRegistry, VTime};
 use std::collections::BTreeMap;
@@ -108,6 +109,7 @@ pub struct AggregateStore {
     benefactor_recoveries: Counter,
     batched_fetches: Counter,
     batched_writes: Counter,
+    trace: TraceRecorder,
 }
 
 impl AggregateStore {
@@ -131,7 +133,16 @@ impl AggregateStore {
             benefactor_recoveries: stats.counter("store.benefactor_recoveries"),
             batched_fetches: stats.counter("store.batched_fetches"),
             batched_writes: stats.counter("store.batched_writes"),
+            trace: TraceRecorder::disabled(),
         }
+    }
+
+    /// Attach a trace recorder (builder style; clones share it). Manager
+    /// RPCs, chunk fetches, write-backs and repair sweeps become spans;
+    /// applied fault events become instants.
+    pub fn with_tracer(mut self, trace: TraceRecorder) -> Self {
+        self.trace = trace;
+        self
     }
 
     pub fn config(&self) -> &StoreConfig {
@@ -168,6 +179,8 @@ impl AggregateStore {
             None => return,
         };
         for fault in due {
+            self.trace
+                .instant(Layer::Fault, fault.event.describe(), fault.at);
             self.apply_fault(fault.event);
         }
     }
@@ -233,6 +246,8 @@ impl AggregateStore {
     /// Charge one metadata round-trip to the manager.
     fn mgr_rpc(&self, t: VTime, client_node: usize) -> VTime {
         self.mgr_rpcs.inc();
+        let sp = self.trace.span(Layer::Store, "store.mgr_rpc", t);
+        sp.arg("client", client_node as u64);
         let req = self
             .net
             .transfer_at(t, client_node, self.cfg.manager_node, self.cfg.rpc_bytes);
@@ -240,6 +255,7 @@ impl AggregateStore {
         let resp =
             self.net
                 .transfer_at(done, self.cfg.manager_node, client_node, self.cfg.rpc_bytes);
+        sp.finish(resp.arrived);
         resp.arrived
     }
 
@@ -326,6 +342,8 @@ impl AggregateStore {
         idx: usize,
     ) -> Result<(VTime, ChunkPayload)> {
         self.poll_faults(t);
+        let sp = self.trace.span(Layer::Store, "store.chunk_fetch", t);
+        sp.arg("file", file.0).arg("idx", idx as u64);
         let mut t = self.mgr_rpc(t, client_node);
         self.chunk_fetches.inc();
         let chunk = {
@@ -350,6 +368,7 @@ impl AggregateStore {
                 // Hole: the manager's reply says "no data"; zeros are
                 // materialized client-side for free.
                 self.zero_fills.inc();
+                sp.finish(t);
                 return Ok((t, ChunkPayload::Zeros));
             }
             Some(c) => c,
@@ -395,6 +414,12 @@ impl AggregateStore {
                         self.cfg.chunk_size,
                     );
                     self.bytes_to_clients.add(self.cfg.chunk_size);
+                    sp.arg("benefactor", home.0 as u64)
+                        .arg("node", home_node as u64);
+                    if rank > 0 || attempts > 0 {
+                        sp.arg("degraded", 1);
+                    }
+                    sp.finish(resp.arrived);
                     return Ok((resp.arrived, ChunkPayload::Data(data)));
                 }
                 Err(primary) => {
@@ -439,6 +464,9 @@ impl AggregateStore {
         }
         self.poll_faults(t);
         self.batched_fetches.inc();
+        let sp = self.trace.span(Layer::Store, "store.fetch_batch", t);
+        sp.arg("targets", targets.len() as u64)
+            .arg("client", client_node as u64);
 
         // Resolve from the location cache where the epoch allows.
         let mut resolved: Vec<Option<CachedLoc>> = {
@@ -562,6 +590,12 @@ impl AggregateStore {
                 self.failovers.inc();
                 self.degraded_reads.inc();
             }
+            let csp = self.trace.span(Layer::Store, "store.chunk_fetch", *at);
+            csp.arg("benefactor", home.0 as u64)
+                .arg("node", node as u64);
+            if degraded {
+                csp.arg("degraded", 1);
+            }
             let req = self
                 .net
                 .transfer_at(*at, client_node, node, self.cfg.rpc_bytes);
@@ -573,6 +607,7 @@ impl AggregateStore {
                 .net
                 .transfer_at(grant.end, node, client_node, self.cfg.chunk_size);
             self.bytes_to_clients.add(self.cfg.chunk_size);
+            csp.finish(resp.arrived);
             *at = resp.arrived;
             out[i] = Some((resp.arrived, ChunkPayload::Data(data)));
         }
@@ -592,10 +627,13 @@ impl AggregateStore {
                 Plan::Chain { .. } => {}
             }
         }
-        Ok(out
+        let out: Vec<(VTime, ChunkPayload)> = out
             .into_iter()
             .map(|e| e.expect("all entries filled"))
-            .collect())
+            .collect();
+        // The batch completes when its slowest entry does.
+        sp.finish(out.iter().map(|&(end, _)| end).max().unwrap_or(t0));
+        Ok(out)
     }
 
     /// Write back dirty pages of chunk `idx` (the FUSE eviction path).
@@ -625,8 +663,12 @@ impl AggregateStore {
     ) -> Result<VTime> {
         self.validate_updates(updates);
         self.poll_faults(t);
+        let sp = self.trace.span(Layer::Store, "store.write_pages", t);
+        sp.arg("file", file.0).arg("idx", idx as u64);
         let t = self.mgr_rpc(t, client_node);
-        self.write_pages_resolved(t, client_node, file, idx, updates)
+        let end = self.write_pages_resolved(t, client_node, file, idx, updates)?;
+        sp.finish(end);
+        Ok(end)
     }
 
     /// Batched write-back: one manager RPC covers every entry, then each
@@ -651,11 +693,22 @@ impl AggregateStore {
         }
         self.poll_faults(t);
         self.batched_writes.inc();
+        let sp = self.trace.span(Layer::Store, "store.write_batch", t);
+        sp.arg("entries", entries.len() as u64);
         let t0 = self.mgr_rpc(t, client_node);
-        entries
+        let ends: Result<Vec<VTime>> = entries
             .iter()
-            .map(|e| self.write_pages_resolved(t0, client_node, e.file, e.idx, e.updates))
-            .collect()
+            .map(|e| {
+                let esp = self.trace.span(Layer::Store, "store.write_pages", t0);
+                esp.arg("file", e.file.0).arg("idx", e.idx as u64);
+                let end = self.write_pages_resolved(t0, client_node, e.file, e.idx, e.updates)?;
+                esp.finish(end);
+                Ok(end)
+            })
+            .collect();
+        let ends = ends?;
+        sp.finish(ends.iter().copied().max().unwrap_or(t0));
+        Ok(ends)
     }
 
     fn validate_updates(&self, updates: &[(u64, &[u8])]) {
@@ -935,6 +988,7 @@ impl AggregateStore {
     /// order and the destination is the lowest-id eligible benefactor.
     pub fn repair_under_replicated(&self, t: VTime) -> (VTime, RepairReport) {
         self.poll_faults(t);
+        let sp = self.trace.span(Layer::Store, "store.repair", t);
         let mut t = t;
         let mut report = RepairReport::default();
         let work = self.mgr.lock().under_replicated();
@@ -984,6 +1038,9 @@ impl AggregateStore {
                 self.repairs_bytes.add(self.cfg.chunk_size);
             }
         }
+        sp.arg("repaired", report.chunks_repaired)
+            .arg("unrepairable", report.chunks_unrepairable);
+        sp.finish(t);
         (t, report)
     }
 

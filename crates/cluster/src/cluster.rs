@@ -7,12 +7,17 @@ use chunkstore::{AggregateStore, Benefactor, StoreConfig};
 use devices::{Dram, Pfs, Ssd};
 use fusemm::{FuseConfig, Mount};
 use netsim::Network;
+use obs::TraceRecorder;
 use simcore::StatsRegistry;
 
 /// A built cluster, ready to run jobs.
 pub struct Cluster {
     pub spec: ClusterSpec,
     pub stats: StatsRegistry,
+    /// Cluster-wide trace recorder: disabled unless the cluster was built
+    /// via [`Cluster::with_obs`], in which case every layer (mounts, store,
+    /// network, SSDs) records virtual-time spans into it.
+    pub trace: TraceRecorder,
     pub net: Network,
     pub pfs: Pfs,
     pub store: AggregateStore,
@@ -39,18 +44,51 @@ impl Cluster {
         spec: ClusterSpec,
         benefactor_nodes: &[usize],
         fuse: FuseConfig,
+        store_cfg: StoreConfig,
+    ) -> Self {
+        Self::build(spec, benefactor_nodes, fuse, store_cfg, false)
+    }
+
+    /// Fully custom build with span tracing enabled: every layer records
+    /// virtual-time spans into [`Cluster::trace`], and `run_job` binds each
+    /// rank to its own trace lane. Virtual-time results are bit-identical
+    /// to an untraced build — instrumentation only observes the computed
+    /// times, it never participates in them.
+    pub fn with_obs(
+        spec: ClusterSpec,
+        benefactor_nodes: &[usize],
+        fuse: FuseConfig,
+        store_cfg: StoreConfig,
+    ) -> Self {
+        Self::build(spec, benefactor_nodes, fuse, store_cfg, true)
+    }
+
+    fn build(
+        spec: ClusterSpec,
+        benefactor_nodes: &[usize],
+        fuse: FuseConfig,
         mut store_cfg: StoreConfig,
+        traced: bool,
     ) -> Self {
         let stats = StatsRegistry::new();
-        let net = Network::new(spec.nodes, spec.net, &stats);
+        // The recorder must exist before any layer is constructed: clones
+        // (the store's network handle, each mount's store handle) share
+        // whatever recorder their original carried at clone time.
+        let trace = if traced {
+            TraceRecorder::enabled(&stats)
+        } else {
+            TraceRecorder::disabled()
+        };
+        let net = Network::new(spec.nodes, spec.net, &stats).with_tracer(trace.clone());
         let pfs = Pfs::new(spec.pfs, &stats);
         // The manager runs where the first benefactor lives (a "fat node"),
         // or node 0 when the store is unused.
         store_cfg.manager_node = benefactor_nodes.first().copied().unwrap_or(0);
-        let store = AggregateStore::new(store_cfg, net.clone(), &stats);
+        let store = AggregateStore::new(store_cfg, net.clone(), &stats).with_tracer(trace.clone());
         for &node in benefactor_nodes {
             assert!(node < spec.nodes, "benefactor node out of range");
-            let ssd = Ssd::new(&format!("n{node}.ssd"), spec.ssd_profile, &stats);
+            let ssd = Ssd::new(&format!("n{node}.ssd"), spec.ssd_profile, &stats)
+                .with_tracer(trace.clone());
             store.add_benefactor(Benefactor::new(
                 node,
                 ssd,
@@ -69,11 +107,12 @@ impl Cluster {
             })
             .collect();
         let mounts = (0..spec.nodes)
-            .map(|n| Mount::new(store.clone(), n, fuse, &stats))
+            .map(|n| Mount::new(store.clone(), n, fuse, &stats).with_tracer(trace.clone()))
             .collect();
         Cluster {
             spec,
             stats,
+            trace,
             net,
             pfs,
             store,

@@ -256,7 +256,7 @@ where
 
     let body = &body;
     let outputs_ref = &outputs;
-    let report = Engine::run(
+    let report = Engine::run_with_observer(
         (0..n)
             .map(|rank| {
                 let node = node_of_rank[rank];
@@ -286,6 +286,7 @@ where
                 }
             })
             .collect(),
+        cluster.trace.observer(),
     );
 
     JobResult {

@@ -14,6 +14,7 @@
 //! reports that and the projected lifetime fraction consumed.
 
 use crate::profiles::DeviceProfile;
+use obs::{Layer, TraceRecorder};
 use simcore::{Bandwidth, Counter, Grant, Resource, StatsRegistry, VTime};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -42,6 +43,7 @@ pub struct Ssd {
     /// 4000 = 4× slower. Stored fixed-point so the neutral value divides
     /// out exactly and an unfaulted device keeps bit-identical timing.
     slowdown_milli: Arc<AtomicU64>,
+    trace: TraceRecorder,
 }
 
 /// Neutral value of the slowdown knob (no derating).
@@ -59,7 +61,16 @@ impl Ssd {
             reads: stats.counter(&format!("{name}.reads")),
             writes: stats.counter(&format!("{name}.writes")),
             slowdown_milli: Arc::new(AtomicU64::new(SLOWDOWN_NEUTRAL)),
+            trace: TraceRecorder::disabled(),
         }
+    }
+
+    /// Attach a trace recorder (builder style; clones share it). Every
+    /// device access becomes a `dev.read`/`dev.write` span covering queue
+    /// wait plus service.
+    pub fn with_tracer(mut self, trace: TraceRecorder) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Derate the device by `factor` (≥ 1.0): subsequent accesses take
@@ -105,12 +116,16 @@ impl Ssd {
         let moved = self.granular(bytes);
         self.read_bytes.add(moved);
         self.reads.inc();
-        self.resource.transfer_at(
+        let sp = self.trace.span(Layer::Dev, "dev.read", t);
+        sp.arg("bytes", moved);
+        let g = self.resource.transfer_at(
             t,
             moved,
             self.derated(self.profile.read_bw),
             self.profile.latency,
-        )
+        );
+        sp.finish(g.end);
+        g
     }
 
     /// Serve a write of `bytes` requested at `t`.
@@ -118,12 +133,16 @@ impl Ssd {
         let moved = self.granular(bytes);
         self.written_bytes.add(moved);
         self.writes.inc();
-        self.resource.transfer_at(
+        let sp = self.trace.span(Layer::Dev, "dev.write", t);
+        sp.arg("bytes", moved);
+        let g = self.resource.transfer_at(
             t,
             moved,
             self.derated(self.profile.write_bw),
             self.profile.latency,
-        )
+        );
+        sp.finish(g.end);
+        g
     }
 
     pub fn bytes_read(&self) -> u64 {

@@ -50,6 +50,30 @@ pub enum FaultEvent {
     SsdRestore { node: usize },
 }
 
+impl FaultEvent {
+    /// Short human-readable label, used for trace instants and logs.
+    pub fn describe(&self) -> String {
+        match self {
+            FaultEvent::BenefactorCrash { benefactor } => {
+                format!("fault.benefactor_crash b={benefactor}")
+            }
+            FaultEvent::BenefactorRecover { benefactor } => {
+                format!("fault.benefactor_recover b={benefactor}")
+            }
+            FaultEvent::LinkDegrade {
+                node, bw_divisor, ..
+            } => format!("fault.link_degrade node={node} /{bw_divisor}"),
+            FaultEvent::LinkRestore { node } => format!("fault.link_restore node={node}"),
+            FaultEvent::Partition { node } => format!("fault.partition node={node}"),
+            FaultEvent::Heal { node } => format!("fault.heal node={node}"),
+            FaultEvent::SsdSlowdown { node, factor } => {
+                format!("fault.ssd_slowdown node={node} x{factor}")
+            }
+            FaultEvent::SsdRestore { node } => format!("fault.ssd_restore node={node}"),
+        }
+    }
+}
+
 /// A [`FaultEvent`] scheduled at a virtual time.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TimedFault {

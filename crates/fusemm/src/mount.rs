@@ -22,6 +22,7 @@ use chunkstore::{
     AggregateStore, BatchWrite, ChunkPayload, FileId, LocationCache, PlacementPolicy, Result,
     StoreError, StripeSpec,
 };
+use obs::{Layer, TraceRecorder};
 use parking_lot::Mutex;
 use simcore::{Counter, StatsRegistry, VTime};
 use std::collections::HashMap;
@@ -142,6 +143,7 @@ pub struct Mount {
     /// Client-side chunk-location cache feeding the batched fetch path
     /// (only consulted when `pipelined_io` is on).
     loc_cache: LocationCache,
+    trace: TraceRecorder,
     read_req_bytes: Counter,
     write_req_bytes: Counter,
     hits: Counter,
@@ -166,6 +168,7 @@ impl Mount {
                 seq: HashMap::new(),
             })),
             loc_cache: LocationCache::new(stats),
+            trace: TraceRecorder::disabled(),
             read_req_bytes: stats.counter("fuse.read_req_bytes"),
             write_req_bytes: stats.counter("fuse.write_req_bytes"),
             hits: stats.counter("fuse.hits"),
@@ -175,6 +178,19 @@ impl Mount {
             readahead_fetches: stats.counter("fuse.readahead_fetches"),
             async_writebacks: stats.counter("fuse.async_writebacks"),
         }
+    }
+
+    /// Attach a trace recorder (builder style; clones share it). FUSE-layer
+    /// operations become `fuse.*` spans with store/net/device children.
+    pub fn with_tracer(mut self, trace: TraceRecorder) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The mount's trace recorder (disabled unless attached); `nvmalloc`
+    /// borrows it so client-layer spans parent the FUSE spans.
+    pub fn tracer(&self) -> &TraceRecorder {
+        &self.trace
     }
 
     pub fn node(&self) -> usize {
@@ -256,6 +272,8 @@ impl Mount {
         self.bounds_check(file, offset, buf.len() as u64)?;
         self.read_req_bytes
             .add(self.page_rounded(offset, buf.len() as u64));
+        let sp = self.trace.span(Layer::Fuse, "fuse.read", t);
+        sp.arg("file", file.0).arg("bytes", buf.len() as u64);
         t += self.cfg.op_overhead;
 
         let cs = self.chunk_size();
@@ -296,6 +314,7 @@ impl Mount {
             };
             self.read_ahead(t, file, offset + buf.len() as u64, depth)?;
         }
+        sp.finish(t);
         Ok(t)
     }
 
@@ -322,6 +341,10 @@ impl Mount {
         assert_eq!(out.len() as u64, run_len * count, "output size mismatch");
         let last_end = offset + (count - 1) * stride + run_len;
         self.bounds_check(file, offset, last_end - offset)?;
+        let sp = self.trace.span(Layer::Fuse, "fuse.read_strided", t);
+        sp.arg("file", file.0)
+            .arg("runs", count)
+            .arg("bytes", run_len * count);
         t += self.cfg.op_overhead;
 
         let cs = self.chunk_size();
@@ -366,6 +389,7 @@ impl Mount {
                 }
             }
         }
+        sp.finish(t);
         Ok(t)
     }
 
@@ -377,6 +401,8 @@ impl Mount {
         self.bounds_check(file, offset, data.len() as u64)?;
         self.write_req_bytes
             .add(self.page_rounded(offset, data.len() as u64));
+        let sp = self.trace.span(Layer::Fuse, "fuse.write", t);
+        sp.arg("file", file.0).arg("bytes", data.len() as u64);
         t += self.cfg.op_overhead;
 
         let cs = self.chunk_size();
@@ -384,7 +410,9 @@ impl Mount {
         if self.cfg.pipelined_io {
             let mut segs = Vec::new();
             segments_of(offset, data.len() as u64, cs, 0, &mut segs);
-            return self.pipelined_span(t, file, &segs, SpanIo::Write(data));
+            let end = self.pipelined_span(t, file, &segs, SpanIo::Write(data))?;
+            sp.finish(end);
+            return Ok(end);
         }
         let mut pos = 0usize;
         while pos < data.len() {
@@ -403,6 +431,7 @@ impl Mount {
             }
             pos += take;
         }
+        sp.finish(t);
         Ok(t)
     }
 
@@ -410,12 +439,17 @@ impl Mount {
     /// Used by `ssdcheckpoint()` before chunk linking and by close paths.
     pub fn flush_file(&self, mut t: VTime, file: FileId) -> Result<VTime> {
         let keys = { self.state.lock().cache.keys_of_file(file) };
+        let sp = self.trace.span(Layer::Fuse, "fuse.flush", t);
+        sp.arg("file", file.0).arg("chunks", keys.len() as u64);
         if self.cfg.pipelined_io {
-            return self.flush_keys_batched(t, &keys);
+            let end = self.flush_keys_batched(t, &keys)?;
+            sp.finish(end);
+            return Ok(end);
         }
         for key in keys {
             t = self.flush_entry(t, key)?;
         }
+        sp.finish(t);
         Ok(t)
     }
 
@@ -439,12 +473,17 @@ impl Mount {
     /// Write back every dirty chunk of every file on this mount.
     pub fn flush_all(&self, mut t: VTime) -> Result<VTime> {
         let keys = { self.state.lock().cache.dirty_keys() };
+        let sp = self.trace.span(Layer::Fuse, "fuse.flush", t);
+        sp.arg("chunks", keys.len() as u64);
         if self.cfg.pipelined_io {
-            return self.flush_keys_batched(t, &keys);
+            let end = self.flush_keys_batched(t, &keys)?;
+            sp.finish(end);
+            return Ok(end);
         }
         for key in keys {
             t = self.flush_entry(t, key)?;
         }
+        sp.finish(t);
         Ok(t)
     }
 
@@ -468,9 +507,12 @@ impl Mount {
             .collect();
         let bytes: u64 = updates.iter().map(|(_, d)| d.len() as u64).sum();
         self.writeback_bytes.add(bytes);
+        let sp = self.trace.span(Layer::Fuse, "fuse.writeback", t);
+        sp.arg("bytes", bytes);
         let end = self
             .store
             .write_pages(t, self.node, key.0, key.1, &updates)?;
+        sp.finish(end);
         drop(updates);
         dirty.clear();
         Ok(end)
@@ -518,6 +560,8 @@ impl Mount {
             .collect();
         let bytes: u64 = updates.iter().flatten().map(|(_, d)| d.len() as u64).sum();
         self.writeback_bytes.add(bytes);
+        let sp = self.trace.span(Layer::Fuse, "fuse.writeback", t);
+        sp.arg("bytes", bytes).arg("chunks", dirty.len() as u64);
         let times = self.store.write_pages_batch(t, self.node, &entries)?;
         drop(entries);
         drop(updates);
@@ -528,6 +572,7 @@ impl Mount {
         for tt in times {
             end = end.max(tt);
         }
+        sp.finish(end);
         Ok(end)
     }
 
@@ -557,8 +602,11 @@ impl Mount {
             }
         }
         self.misses.inc();
+        let sp = self.trace.span(Layer::Fuse, "fuse.miss_fill", t);
+        sp.arg("file", file.0).arg("chunks", 1);
         t = self.make_room(t)?;
         let (t2, payload) = self.store.fetch_chunk(t, self.node, file, idx)?;
+        sp.finish(t2);
         let data = match payload {
             ChunkPayload::Zeros => vec![0u8; self.chunk_size() as usize].into_boxed_slice(),
             ChunkPayload::Data(d) => d,
@@ -608,7 +656,13 @@ impl Mount {
         };
         let bytes: u64 = updates.iter().map(|(_, d)| d.len() as u64).sum();
         self.writeback_bytes.add(bytes);
-        self.store.write_pages(t, self.node, key.0, key.1, &updates)
+        let sp = self.trace.span(Layer::Fuse, "fuse.evict", t);
+        sp.arg("bytes", bytes);
+        let end = self
+            .store
+            .write_pages(t, self.node, key.0, key.1, &updates)?;
+        sp.finish(end);
+        Ok(end)
     }
 
     /// Asynchronous prefetch of up to `depth` chunks following
@@ -638,6 +692,8 @@ impl Mount {
                 return Ok(());
             }
             let missing = &missing[..missing.len().min(cap)];
+            let sp = self.trace.span(Layer::Fuse, "fuse.read_ahead", t);
+            sp.arg("file", file.0).arg("chunks", missing.len() as u64);
             let t0 = self.make_room_n(t, file, missing, missing.len())?;
             debug_assert_eq!(t0, t); // async write-back: caller clock untouched
             let targets: Vec<(FileId, usize)> = missing.iter().map(|&i| (file, i)).collect();
@@ -645,14 +701,18 @@ impl Mount {
                 .store
                 .fetch_chunks(t, self.node, &targets, Some(&self.loc_cache))?;
             self.readahead_fetches.add(missing.len() as u64);
+            let mut done = t;
             let mut st = self.state.lock();
             for ((ready, payload), &idx) in results.into_iter().zip(missing) {
                 let data = match payload {
                     ChunkPayload::Zeros => vec![0u8; cs as usize].into_boxed_slice(),
                     ChunkPayload::Data(d) => d,
                 };
+                done = done.max(ready);
                 st.cache.insert((file, idx), data, ready);
             }
+            drop(st);
+            sp.finish(done);
             return Ok(());
         }
         for idx in first..last {
@@ -677,7 +737,10 @@ impl Mount {
             }
             let t0 = self.make_room(t)?; // clean eviction: t unchanged
             debug_assert_eq!(t0, t);
+            let sp = self.trace.span(Layer::Fuse, "fuse.read_ahead", t);
+            sp.arg("file", file.0).arg("chunks", 1);
             let (ready, payload) = self.store.fetch_chunk(t, self.node, file, idx)?;
+            sp.finish(ready);
             self.readahead_fetches.inc();
             let data = match payload {
                 ChunkPayload::Zeros => vec![0u8; cs as usize].into_boxed_slice(),
@@ -769,6 +832,8 @@ impl Mount {
             return Ok(ready);
         }
         self.misses.add(missing.len() as u64);
+        let sp = self.trace.span(Layer::Fuse, "fuse.miss_fill", t);
+        sp.arg("file", file.0).arg("chunks", missing.len() as u64);
         let t = self.make_room_n(t, file, idxs, missing.len())?;
         let targets: Vec<(FileId, usize)> = missing.iter().map(|&i| (file, i)).collect();
         let results = self
@@ -783,6 +848,8 @@ impl Mount {
             st.cache.insert((file, idx), data, ready_at);
             ready = ready.max(ready_at);
         }
+        drop(st);
+        sp.finish(ready);
         Ok(ready)
     }
 
@@ -850,8 +917,17 @@ impl Mount {
         let bytes: u64 = updates.iter().flatten().map(|(_, d)| d.len() as u64).sum();
         self.writeback_bytes.add(bytes);
         self.async_writebacks.add(dirty_victims.len() as u64);
-        // Completion times intentionally dropped: asynchronous write-back.
-        self.store.write_pages_batch(start, self.node, &entries)?;
+        let sp = self.trace.span(Layer::Fuse, "fuse.async_writeback", start);
+        sp.arg("bytes", bytes)
+            .arg("chunks", dirty_victims.len() as u64);
+        // Completion times intentionally dropped (asynchronous write-back);
+        // the span still records when the background writes land.
+        let times = self.store.write_pages_batch(start, self.node, &entries)?;
+        let mut done = start;
+        for tt in times {
+            done = done.max(tt);
+        }
+        sp.finish(done);
         Ok(t)
     }
 }

@@ -96,6 +96,35 @@ fn eviction_writes_back_only_dirty_pages() {
 }
 
 #[test]
+fn pipelined_eviction_counts_async_writebacks() {
+    let cfg = FuseConfig {
+        cache_bytes: 2 * CHUNK,
+        read_ahead_chunks: 0,
+        pipelined_io: true,
+        ..FuseConfig::default()
+    };
+    let (m, stats) = world(cfg);
+    let f = mk_file(&m, "/v", 8 * CHUNK);
+    // Dirty one page of chunk 0, then stream chunks 1 and 2 through the
+    // 2-entry cache: the second miss must evict dirty chunk 0 through the
+    // asynchronous batched write-back (make_room_n), not a synchronous
+    // flush.
+    let page = vec![1u8; 4096];
+    let t = m.write(VTime::ZERO, f, 0, &page).unwrap();
+    assert_eq!(stats.get("fuse.async_writebacks"), 0);
+    let mut buf = [0u8; 8];
+    let t = m.read(t, f, CHUNK, &mut buf).unwrap();
+    let t = m.read(t, f, 2 * CHUNK, &mut buf).unwrap();
+    assert_eq!(stats.get("fuse.async_writebacks"), 1);
+    assert_eq!(stats.get("fuse.writeback_bytes"), 4096);
+    assert_eq!(stats.get("store.bytes_from_clients"), 4096);
+    // The background write still landed: chunk 0 re-reads with the data.
+    let mut back = vec![0u8; 4096];
+    m.read(t, f, 0, &mut back).unwrap();
+    assert_eq!(back, page);
+}
+
+#[test]
 fn whole_chunk_writeback_without_optimization() {
     let cfg = FuseConfig {
         dirty_page_writeback: false,

@@ -13,6 +13,7 @@
 //! Intra-node "messages" (rank to rank on one host) bypass the NIC and
 //! cost one memcpy at DRAM speed, which the caller charges separately.
 
+use obs::{Layer, TraceRecorder};
 use parking_lot::Mutex;
 use simcore::{Bandwidth, Counter, Resource, StatsRegistry, VTime};
 use std::sync::Arc;
@@ -101,6 +102,7 @@ pub struct Network {
     faults: Arc<Mutex<Vec<LinkFault>>>,
     bytes: Counter,
     messages: Counter,
+    trace: TraceRecorder,
 }
 
 impl Network {
@@ -116,7 +118,15 @@ impl Network {
             faults: Arc::new(Mutex::new(vec![LinkFault::default(); nodes])),
             bytes: stats.counter("net.bytes"),
             messages: stats.counter("net.messages"),
+            trace: TraceRecorder::disabled(),
         }
+    }
+
+    /// Attach a trace recorder (builder style; clones share it). Every
+    /// inter-node transfer becomes a `net.transfer` span.
+    pub fn with_tracer(mut self, trace: TraceRecorder) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Install a fault on `node`'s attachment (replaces any prior fault).
@@ -180,27 +190,34 @@ impl Network {
         }
         self.bytes.add(bytes);
         self.messages.inc();
+        let sp = self.trace.span(Layer::Net, "net.transfer", t);
+        sp.arg("from", from as u64)
+            .arg("to", to as u64)
+            .arg("bytes", bytes);
         let (bw, latency) = self.effective(from, to);
-        if bytes <= self.cfg.ctrl_threshold {
+        let d = if bytes <= self.cfg.ctrl_threshold {
             let ser = bw.time_for(bytes);
-            return Delivery {
+            Delivery {
                 sent: t + ser,
                 arrived: t + ser + latency,
-            };
-        }
-        let tx = self.nics[from].tx.transfer_at(t, bytes, bw, VTime::ZERO);
-        // Cut-through delivery: the receive side starts draining as soon as
-        // the first bytes arrive; at equal rates the RX busy period equals
-        // the TX one shifted by the latency, and queues if the RX NIC is
-        // still busy with an earlier message.
-        let rx = self.nics[to].rx.acquire_at(
-            tx.start + latency,
-            tx.end - tx.start, // same serialization time at equal link rates
-        );
-        Delivery {
-            sent: tx.end,
-            arrived: rx.end,
-        }
+            }
+        } else {
+            let tx = self.nics[from].tx.transfer_at(t, bytes, bw, VTime::ZERO);
+            // Cut-through delivery: the receive side starts draining as soon
+            // as the first bytes arrive; at equal rates the RX busy period
+            // equals the TX one shifted by the latency, and queues if the RX
+            // NIC is still busy with an earlier message.
+            let rx = self.nics[to].rx.acquire_at(
+                tx.start + latency,
+                tx.end - tx.start, // same serialization time at equal link rates
+            );
+            Delivery {
+                sent: tx.end,
+                arrived: rx.end,
+            }
+        };
+        sp.finish(d.arrived);
+        d
     }
 
     /// Charge `node`'s receive direction directly (traffic from outside

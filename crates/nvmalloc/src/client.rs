@@ -20,6 +20,7 @@ use crate::pod::Pod;
 use crate::vec::{NvmVariable, NvmVec};
 use chunkstore::{FileId, PlacementPolicy, Result, StoreError, StripeSpec};
 use fusemm::Mount;
+use obs::Layer;
 use simcore::{Counter, ProcCtx, StatsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -115,10 +116,16 @@ impl NvmClient {
         let name = self.auto_name();
         let bytes = len as u64 * std::mem::size_of::<T>() as u64;
         ctx.yield_until_min();
+        let sp = self
+            .mount
+            .tracer()
+            .span(Layer::Nvm, "nvm.malloc", ctx.now());
+        sp.arg("bytes", bytes);
         let (t, file) =
             self.mount
                 .create(ctx.now(), &name, bytes, opts.stripe.clone(), opts.placement)?;
         ctx.advance_to(t);
+        sp.finish(t);
         self.mallocs.inc();
         Ok(NvmVec::new(
             self.mount.clone(),
@@ -264,6 +271,9 @@ impl NvmClient {
 
         ctx.yield_until_min();
         let mut t = ctx.now();
+        let sp = self.mount.tracer().span(Layer::Nvm, "nvm.checkpoint", t);
+        sp.arg("dram_bytes", dram_state.len() as u64)
+            .arg("vars", vars.len() as u64);
 
         // 1. Create the restart file sized for the DRAM image.
         let (t1, ckpt_file) = self
@@ -305,6 +315,7 @@ impl NvmClient {
         }
 
         ctx.advance_to(t);
+        sp.finish(t);
         self.checkpoints.inc();
         Ok(Checkpoint {
             name,
@@ -320,6 +331,11 @@ impl NvmClient {
         let mut buf = vec![0u8; ckpt.dram_len as usize];
         if !buf.is_empty() {
             ctx.yield_until_min();
+            let sp = self
+                .mount
+                .tracer()
+                .span(Layer::Nvm, "nvm.restore", ctx.now());
+            sp.arg("bytes", ckpt.dram_len);
             let t = self.mount.store().read_span(
                 ctx.now(),
                 self.mount.node(),
@@ -328,6 +344,7 @@ impl NvmClient {
                 &mut buf,
             )?;
             ctx.advance_to(t);
+            sp.finish(t);
         }
         Ok(buf)
     }
@@ -349,6 +366,11 @@ impl NvmClient {
         // Stream the frozen bytes from the checkpoint into the new file.
         let mut buf = vec![0u8; rec.byte_len as usize];
         ctx.yield_until_min();
+        let sp = self
+            .mount
+            .tracer()
+            .span(Layer::Nvm, "nvm.restore", ctx.now());
+        sp.arg("bytes", rec.byte_len);
         let t = self.mount.store().read_span(
             ctx.now(),
             self.mount.node(),
@@ -361,6 +383,7 @@ impl NvmClient {
             .store()
             .write_span(t, self.mount.node(), var.file_id(), 0, &buf)?;
         ctx.advance_to(t);
+        sp.finish(t);
         Ok(var)
     }
 
@@ -396,6 +419,8 @@ impl NvmClient {
         let total = store.file_size(ckpt.file)?;
         ctx.yield_until_min();
         let mut t = ctx.now();
+        let sp = self.mount.tracer().span(Layer::Nvm, "nvm.drain", t);
+        sp.arg("bytes", total).arg("background", background as u64);
         // Stream chunk-sized pieces: benefactor read + network, then PFS.
         let chunk = store.config().chunk_size;
         let mut buf = vec![0u8; chunk as usize];
@@ -418,6 +443,7 @@ impl NvmClient {
         if !background {
             ctx.advance_to(done);
         }
+        sp.finish(done);
         Ok(done)
     }
 }

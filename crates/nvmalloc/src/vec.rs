@@ -10,6 +10,7 @@
 use crate::pod::{bytes_of, bytes_of_mut, Pod};
 use chunkstore::{FileId, Result};
 use fusemm::Mount;
+use obs::Layer;
 use simcore::{Counter, ProcCtx, VTime};
 use std::marker::PhantomData;
 
@@ -125,6 +126,8 @@ impl<T: Pod> NvmVec<T> {
             .add(out.len() as u64 * Self::elem_size());
         let bytes = bytes_of_mut(out);
         let byte_start = start as u64 * Self::elem_size();
+        let sp = self.mount.tracer().span(Layer::Nvm, "nvm.read", ctx.now());
+        sp.arg("file", self.file.0).arg("bytes", bytes.len() as u64);
         if self.mount.config().pipelined_io {
             // Pipelined data path (DESIGN.md §8): issue the whole span as
             // one batched mount call — a single yield, one manager RPC for
@@ -132,6 +135,7 @@ impl<T: Pod> NvmVec<T> {
             ctx.yield_until_min();
             let t = self.mount.read(ctx.now(), self.file, byte_start, bytes)?;
             ctx.advance_to(t);
+            sp.finish(t);
             return Ok(());
         }
         self.for_each_segment(byte_start, bytes.len() as u64, |abs, pos, take| {
@@ -141,7 +145,9 @@ impl<T: Pod> NvmVec<T> {
                 .read(ctx.now(), self.file, abs, &mut bytes[pos..pos + take])?;
             ctx.advance_to(t);
             Ok(())
-        })
+        })?;
+        sp.finish(ctx.now());
+        Ok(())
     }
 
     /// Strided read: `count` runs of `run_elems` elements, run `i`
@@ -163,6 +169,13 @@ impl<T: Pod> NvmVec<T> {
         }
         let es = Self::elem_size();
         self.app_read_bytes.add(out.len() as u64 * es);
+        let sp = self
+            .mount
+            .tracer()
+            .span(Layer::Nvm, "nvm.read_strided", ctx.now());
+        sp.arg("file", self.file.0)
+            .arg("runs", count as u64)
+            .arg("bytes", out.len() as u64 * es);
         ctx.yield_until_min();
         let t = self.mount.read_strided(
             ctx.now(),
@@ -174,6 +187,7 @@ impl<T: Pod> NvmVec<T> {
             bytes_of_mut(out),
         )?;
         ctx.advance_to(t);
+        sp.finish(t);
         Ok(())
     }
 
@@ -187,10 +201,13 @@ impl<T: Pod> NvmVec<T> {
             .add(data.len() as u64 * Self::elem_size());
         let bytes = bytes_of(data);
         let byte_start = start as u64 * Self::elem_size();
+        let sp = self.mount.tracer().span(Layer::Nvm, "nvm.write", ctx.now());
+        sp.arg("file", self.file.0).arg("bytes", bytes.len() as u64);
         if self.mount.config().pipelined_io {
             ctx.yield_until_min();
             let t = self.mount.write(ctx.now(), self.file, byte_start, bytes)?;
             ctx.advance_to(t);
+            sp.finish(t);
             return Ok(());
         }
         self.for_each_segment(byte_start, bytes.len() as u64, |abs, pos, take| {
@@ -200,7 +217,9 @@ impl<T: Pod> NvmVec<T> {
                 .write(ctx.now(), self.file, abs, &bytes[pos..pos + take])?;
             ctx.advance_to(t);
             Ok(())
-        })
+        })?;
+        sp.finish(ctx.now());
+        Ok(())
     }
 
     /// Push all dirty cached pages of this variable to the store (used by
@@ -209,10 +228,13 @@ impl<T: Pod> NvmVec<T> {
     /// in pipelined mode the whole file flushes as one batched write
     /// (overlapped per-benefactor chains) under a single yield.
     pub fn flush(&self, ctx: &mut ProcCtx) -> Result<()> {
+        let sp = self.mount.tracer().span(Layer::Nvm, "nvm.flush", ctx.now());
+        sp.arg("file", self.file.0);
         if self.mount.config().pipelined_io {
             ctx.yield_until_min();
             let t = self.mount.flush_file(ctx.now(), self.file)?;
             ctx.advance_to(t);
+            sp.finish(t);
             return Ok(());
         }
         for idx in self.mount.dirty_chunks_of(self.file) {
@@ -220,6 +242,7 @@ impl<T: Pod> NvmVec<T> {
             let t = self.mount.flush_chunk(ctx.now(), self.file, idx)?;
             ctx.advance_to(t);
         }
+        sp.finish(ctx.now());
         Ok(())
     }
 }

@@ -1,0 +1,399 @@
+//! Chrome-trace-event export (Perfetto-loadable) and schema validation.
+//!
+//! The recorder's spans nest *lexically* (call nesting), but in virtual
+//! time they may overlap arbitrarily: the pipelined data path issues
+//! per-benefactor chunk chains whose completion times interleave, and async
+//! write-backs outlive the request that triggered them. Chrome's duration
+//! events (`ph: "B"/"E"`) require properly nested, time-ordered pairs per
+//! `tid`, so the exporter greedily splits each lane into as many sub-tracks
+//! as the overlap needs — every track holds a properly nested set of
+//! intervals, so balanced B/E emission is guaranteed by construction.
+
+use crate::json::{self, escape_into, Value};
+use crate::trace::{SpanRecord, TraceRecorder};
+use simcore::VTime;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+const PID: u32 = 1;
+
+/// Microsecond timestamp with exact nanosecond fraction (deterministic:
+/// integer math only, no float formatting).
+fn ts_us(t: VTime) -> String {
+    let ns = t.as_nanos();
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn push_event_prefix(out: &mut String, name: &str, cat: &str, ph: char, t: VTime, tid: u32) {
+    out.push_str("{\"name\":\"");
+    escape_into(out, name);
+    let _ = write!(
+        out,
+        "\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{}",
+        cat,
+        ph,
+        ts_us(t),
+        PID,
+        tid
+    );
+}
+
+fn push_span_begin(out: &mut String, s: &SpanRecord, tid: u32) {
+    push_event_prefix(out, s.name, s.layer.as_str(), 'B', s.start, tid);
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in s.args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{k}\":{v}");
+    }
+    out.push_str("}}");
+}
+
+fn push_span_end(out: &mut String, s: &SpanRecord, tid: u32) {
+    push_event_prefix(out, s.name, s.layer.as_str(), 'E', s.end, tid);
+    out.push('}');
+}
+
+fn push_meta(out: &mut String, what: &str, tid: u32, name: &str) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{what}\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\"ts\":0,\"args\":{{\"name\":\""
+    );
+    escape_into(out, name);
+    out.push_str("\"}}");
+}
+
+/// Split one lane's spans (sorted by `(start, id)`) into sub-tracks whose
+/// intervals are properly nested.
+fn assign_tracks(spans: &[SpanRecord], ids: &[u32]) -> Vec<Vec<u32>> {
+    // Per track: the ids placed on it, plus a stack of still-open end times
+    // mirroring what B/E emission will see.
+    let mut placed: Vec<Vec<u32>> = Vec::new();
+    let mut stacks: Vec<Vec<VTime>> = Vec::new();
+    for &sid in ids {
+        let s = &spans[sid as usize];
+        let mut done = false;
+        for (track, stack) in stacks.iter_mut().enumerate() {
+            while stack.last().is_some_and(|&end| end <= s.start) {
+                stack.pop();
+            }
+            let fits = stack.last().is_none_or(|&end| end >= s.end);
+            if fits {
+                stack.push(s.end);
+                placed[track].push(sid);
+                done = true;
+                break;
+            }
+        }
+        if !done {
+            stacks.push(vec![s.end]);
+            placed.push(vec![sid]);
+        }
+    }
+    placed
+}
+
+impl TraceRecorder {
+    /// Render the whole trace as a Chrome trace-event JSON document.
+    /// Deterministic: identical recorded spans produce identical bytes.
+    pub fn chrome_trace(&self) -> String {
+        let spans = self.spans();
+        let instants = self.instants();
+        let labels = self.lane_labels();
+
+        let mut by_lane: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for s in &spans {
+            by_lane.entry(s.lane).or_default().push(s.id);
+        }
+        for ids in by_lane.values_mut() {
+            ids.sort_by_key(|&id| (spans[id as usize].start, id));
+        }
+
+        let mut out = String::with_capacity(256 + 160 * (spans.len() * 2 + instants.len()));
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+        let mut first = true;
+        let mut emit = |out: &mut String, piece: &mut dyn FnMut(&mut String)| {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            piece(out);
+        };
+
+        emit(&mut out, &mut |o| {
+            push_meta(o, "process_name", 0, "nvmalloc-sim")
+        });
+
+        let mut next_tid = 1u32;
+        for (&lane, ids) in &by_lane {
+            let tracks = assign_tracks(&spans, ids);
+            let label = labels
+                .get(&lane)
+                .cloned()
+                .unwrap_or_else(|| format!("lane {lane}"));
+            for (ti, track) in tracks.iter().enumerate() {
+                let tid = next_tid;
+                next_tid += 1;
+                let tname = if ti == 0 {
+                    label.clone()
+                } else {
+                    format!("{label} (async {ti})")
+                };
+                emit(&mut out, &mut |o| push_meta(o, "thread_name", tid, &tname));
+                // Balanced B/E emission: stack mirrors assign_tracks.
+                let mut open: Vec<u32> = Vec::new();
+                for &sid in track {
+                    let s = &spans[sid as usize];
+                    while open
+                        .last()
+                        .is_some_and(|&t| spans[t as usize].end <= s.start)
+                    {
+                        let top = &spans[*open.last().unwrap() as usize];
+                        emit(&mut out, &mut |o| push_span_end(o, top, tid));
+                        open.pop();
+                    }
+                    emit(&mut out, &mut |o| push_span_begin(o, s, tid));
+                    open.push(sid);
+                }
+                while let Some(sid) = open.pop() {
+                    let s = &spans[sid as usize];
+                    emit(&mut out, &mut |o| push_span_end(o, s, tid));
+                }
+            }
+        }
+
+        if !instants.is_empty() {
+            let tid = next_tid;
+            emit(&mut out, &mut |o| {
+                push_meta(o, "thread_name", tid, "events")
+            });
+            let mut sorted: Vec<_> = instants.iter().collect();
+            sorted.sort_by_key(|i| i.t);
+            for i in sorted {
+                emit(&mut out, &mut |o| {
+                    push_event_prefix(o, &i.name, i.layer.as_str(), 'i', i.t, tid);
+                    o.push_str(",\"s\":\"g\"}");
+                });
+            }
+        }
+
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// Why a trace document failed validation.
+#[derive(Clone, Debug)]
+pub struct ValidationError {
+    pub msg: String,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid Chrome trace: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+fn fail(msg: impl Into<String>) -> ValidationError {
+    ValidationError { msg: msg.into() }
+}
+
+/// Counts reported by a successful validation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceSummary {
+    pub events: usize,
+    pub spans: usize,
+    pub instants: usize,
+    pub tracks: usize,
+}
+
+/// Validate `text` against the Chrome trace-event schema subset this repo
+/// emits: required `name`/`ph`/`pid`/`tid` fields, numeric non-decreasing
+/// `ts` per `(pid, tid)`, balanced and name-matched `B`/`E` pairs per
+/// track, scoped (`s`) instants.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, ValidationError> {
+    let doc = json::parse(text).map_err(|e| fail(e.to_string()))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| fail("top level must be an object with a traceEvents array"))?;
+
+    let mut summary = TraceSummary {
+        events: events.len(),
+        ..TraceSummary::default()
+    };
+    // (pid, tid) -> (last ts, stack of open B names)
+    let mut tracks: BTreeMap<(u64, u64), (f64, Vec<String>)> = BTreeMap::new();
+
+    for (idx, ev) in events.iter().enumerate() {
+        let ctx = |msg: &str| fail(format!("event {idx}: {msg}"));
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ctx("missing ph"))?;
+        let pid = ev
+            .get("pid")
+            .and_then(Value::as_num)
+            .ok_or_else(|| ctx("missing numeric pid"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(Value::as_num)
+            .ok_or_else(|| ctx("missing numeric tid"))?;
+        let name = ev
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ctx("missing name"))?;
+        if ph == "M" {
+            continue; // metadata: no timing rules
+        }
+        let ts = ev
+            .get("ts")
+            .and_then(Value::as_num)
+            .ok_or_else(|| ctx("missing numeric ts"))?;
+        let key = (pid as u64, tid as u64);
+        let (last_ts, stack) = tracks.entry(key).or_insert((f64::NEG_INFINITY, Vec::new()));
+        if ts < *last_ts {
+            return Err(ctx(&format!(
+                "ts went backwards on tid {}: {ts} < {last_ts}",
+                key.1
+            )));
+        }
+        *last_ts = ts;
+        match ph {
+            "B" => {
+                summary.spans += 1;
+                stack.push(name.to_string());
+            }
+            "E" => {
+                let open = stack
+                    .pop()
+                    .ok_or_else(|| ctx(&format!("E \"{name}\" with no open B on tid {}", key.1)))?;
+                if open != name {
+                    return Err(ctx(&format!(
+                        "E \"{name}\" does not match open B \"{open}\""
+                    )));
+                }
+            }
+            "i" => {
+                summary.instants += 1;
+                ev.get("s")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| ctx("instant missing scope field s"))?;
+            }
+            other => return Err(ctx(&format!("unsupported phase \"{other}\""))),
+        }
+    }
+
+    for ((pid, tid), (_, stack)) in &tracks {
+        if !stack.is_empty() {
+            return Err(fail(format!(
+                "unbalanced trace: {} B event(s) never closed on pid {pid} tid {tid} (first: \"{}\")",
+                stack.len(),
+                stack[0]
+            )));
+        }
+    }
+    summary.tracks = tracks.len();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Layer;
+    use simcore::StatsRegistry;
+
+    fn nanos(n: u64) -> VTime {
+        VTime::from_nanos(n)
+    }
+
+    #[test]
+    fn nested_spans_export_balanced() {
+        let stats = StatsRegistry::new();
+        let rec = TraceRecorder::enabled(&stats);
+        rec.bind_lane(0, "rank 0");
+        let a = rec.span(Layer::Fuse, "fuse.read", nanos(100));
+        let b = rec.span(Layer::Store, "store.chunk_fetch", nanos(110));
+        b.arg("chunk", 7).arg("benefactor", 3);
+        b.finish(nanos(300));
+        a.finish(nanos(350));
+        rec.instant(Layer::Fault, "benefactor_crash node=3", nanos(200));
+        let text = rec.chrome_trace();
+        let summary = validate_chrome_trace(&text).expect("trace must validate");
+        assert_eq!(summary.spans, 2);
+        assert_eq!(summary.instants, 1);
+        assert!(text.contains("\"ts\":0.100"));
+        assert!(text.contains("\"chunk\":7"));
+    }
+
+    #[test]
+    fn overlapping_spans_split_onto_subtracks() {
+        // Two same-lane chains that overlap in virtual time (the pipelined
+        // fetch shape) plus an async span outliving its parent.
+        let stats = StatsRegistry::new();
+        let rec = TraceRecorder::enabled(&stats);
+        rec.bind_lane(0, "rank 0");
+        let parent = rec.span(Layer::Fuse, "fuse.read", nanos(0));
+        let c1 = rec.span(Layer::Store, "store.chunk_fetch", nanos(10));
+        c1.finish(nanos(100));
+        let c2 = rec.span(Layer::Store, "store.chunk_fetch", nanos(20));
+        c2.finish(nanos(90)); // overlaps c1: needs its own sub-track
+        let wb = rec.span(Layer::Fuse, "fuse.async_writeback", nanos(50));
+        wb.finish(nanos(500)); // outlives the parent
+        parent.finish(nanos(120));
+        let text = rec.chrome_trace();
+        let summary = validate_chrome_trace(&text).expect("trace must validate");
+        assert_eq!(summary.spans, 4);
+        assert!(text.contains("(async 1)"), "expected a sub-track: {text}");
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_and_unordered() {
+        let unbalanced = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1,"pid":1,"tid":1}
+        ]}"#;
+        assert!(validate_chrome_trace(unbalanced).is_err());
+        let mismatched = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1,"pid":1,"tid":1},
+            {"name":"b","ph":"E","ts":2,"pid":1,"tid":1}
+        ]}"#;
+        assert!(validate_chrome_trace(mismatched).is_err());
+        let backwards = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":5,"pid":1,"tid":1},
+            {"name":"a","ph":"E","ts":4,"pid":1,"tid":1}
+        ]}"#;
+        assert!(validate_chrome_trace(backwards).is_err());
+        let missing_field = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1,"tid":1}
+        ]}"#;
+        assert!(validate_chrome_trace(missing_field).is_err());
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let mk = || {
+            let stats = StatsRegistry::new();
+            let rec = TraceRecorder::enabled(&stats);
+            rec.bind_lane(1, "rank 1");
+            for i in 0..50u64 {
+                let sp = rec.span(Layer::Store, "store.chunk_fetch", nanos(i * 10));
+                sp.arg("chunk", i);
+                sp.finish(nanos(i * 10 + 25));
+            }
+            rec.chrome_trace()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let stats = StatsRegistry::new();
+        let rec = TraceRecorder::enabled(&stats);
+        let text = rec.chrome_trace();
+        let summary = validate_chrome_trace(&text).unwrap();
+        assert_eq!(summary.spans, 0);
+    }
+}

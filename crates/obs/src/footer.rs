@@ -1,0 +1,216 @@
+//! The per-bench "obs footer": where the virtual time went.
+//!
+//! Summarizes a recorded trace into the attribution tables the paper's
+//! evaluation style calls for — per-layer virtual-time breakdown (inclusive
+//! and self time), the top-N slowest spans, latency-histogram percentiles,
+//! and counter deltas over the traced window. `bench::JsonReport` renders
+//! this into `BENCH_<name>.json`.
+
+use crate::trace::{Layer, TraceRecorder};
+use simcore::Snapshot;
+
+/// Virtual time attributed to one layer.
+#[derive(Clone, Debug)]
+pub struct LayerBreakdown {
+    pub layer: Layer,
+    /// Number of spans recorded for this layer.
+    pub spans: u64,
+    /// Sum of span durations (children included — overlaps double-count).
+    pub inclusive_ns: u64,
+    /// Sum of span durations minus direct children (no double counting;
+    /// layer percentages are computed over this).
+    pub self_ns: u64,
+}
+
+/// One of the slowest spans in the trace.
+#[derive(Clone, Debug)]
+pub struct TopSpan {
+    pub name: &'static str,
+    pub layer: Layer,
+    pub lane: u32,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+}
+
+/// Percentile line for one latency histogram.
+#[derive(Clone, Debug)]
+pub struct HistLine {
+    pub name: String,
+    pub count: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+}
+
+/// Everything a bench appends to its JSON report when tracing is on.
+#[derive(Clone, Debug, Default)]
+pub struct ObsFooter {
+    /// `[min span start, max span end]` of the traced window, ns.
+    pub window_ns: (u64, u64),
+    /// Per-layer attribution, [`Layer::ALL`] order, empty layers skipped.
+    pub layers: Vec<LayerBreakdown>,
+    /// Slowest spans, longest first.
+    pub top_spans: Vec<TopSpan>,
+    /// Latency histograms in name order.
+    pub hists: Vec<HistLine>,
+    /// Counter deltas since the recorder was created.
+    pub counters: Snapshot,
+    pub spans_recorded: u64,
+    pub spans_dropped: u64,
+    pub instants: u64,
+}
+
+impl ObsFooter {
+    /// Total self time across layers (the 100% of the breakdown).
+    pub fn total_self_ns(&self) -> u64 {
+        self.layers.iter().map(|l| l.self_ns).sum()
+    }
+
+    /// Share of total self time spent in `layer`, in percent.
+    pub fn layer_pct(&self, layer: Layer) -> f64 {
+        let total = self.total_self_ns();
+        if total == 0 {
+            return 0.0;
+        }
+        self.layers
+            .iter()
+            .find(|l| l.layer == layer)
+            .map(|l| 100.0 * l.self_ns as f64 / total as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Percentile line for one histogram name, if recorded.
+    pub fn hist(&self, name: &str) -> Option<&HistLine> {
+        self.hists.iter().find(|h| h.name == name)
+    }
+}
+
+impl TraceRecorder {
+    /// Summarize the trace recorded so far. Returns an empty footer when
+    /// the recorder is disabled.
+    pub fn footer(&self, top_n: usize) -> ObsFooter {
+        if !self.is_enabled() {
+            return ObsFooter::default();
+        }
+        let spans = self.spans();
+        let instants = self.instants();
+
+        let mut child_ns = vec![0u64; spans.len()];
+        for s in &spans {
+            if let Some(p) = s.parent {
+                child_ns[p as usize] += s.dur().as_nanos();
+            }
+        }
+
+        let mut window = (u64::MAX, 0u64);
+        let mut per_layer: Vec<(u64, u64, u64)> = vec![(0, 0, 0); Layer::ALL.len()];
+        for s in &spans {
+            window.0 = window.0.min(s.start.as_nanos());
+            window.1 = window.1.max(s.end.as_nanos());
+            let li = Layer::ALL.iter().position(|&l| l == s.layer).unwrap();
+            let dur = s.dur().as_nanos();
+            per_layer[li].0 += 1;
+            per_layer[li].1 += dur;
+            per_layer[li].2 += dur.saturating_sub(child_ns[s.id as usize]);
+        }
+        if spans.is_empty() {
+            window = (0, 0);
+        }
+        let layers = Layer::ALL
+            .iter()
+            .zip(&per_layer)
+            .filter(|(_, &(n, _, _))| n > 0)
+            .map(|(&layer, &(n, incl, slf))| LayerBreakdown {
+                layer,
+                spans: n,
+                inclusive_ns: incl,
+                self_ns: slf,
+            })
+            .collect();
+
+        let mut by_dur: Vec<&crate::trace::SpanRecord> = spans.iter().collect();
+        by_dur.sort_by_key(|s| (std::cmp::Reverse(s.dur()), s.id));
+        let top_spans = by_dur
+            .iter()
+            .take(top_n)
+            .map(|s| TopSpan {
+                name: s.name,
+                layer: s.layer,
+                lane: s.lane,
+                start_ns: s.start.as_nanos(),
+                dur_ns: s.dur().as_nanos(),
+            })
+            .collect();
+
+        let hists = self
+            .stats()
+            .histograms()
+            .into_iter()
+            .filter(|h| !h.is_empty())
+            .map(|h| {
+                let p = h.percentiles();
+                HistLine {
+                    name: h.name().to_string(),
+                    count: h.count(),
+                    p50_ns: p.p50,
+                    p95_ns: p.p95,
+                    p99_ns: p.p99,
+                    max_ns: h.max(),
+                }
+            })
+            .collect();
+
+        ObsFooter {
+            window_ns: window,
+            layers,
+            top_spans,
+            hists,
+            counters: self.stats().snapshot().delta_since(&self.baseline()),
+            spans_recorded: spans.len() as u64,
+            spans_dropped: self.dropped(),
+            instants: instants.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Layer;
+    use simcore::{StatsRegistry, VTime};
+
+    #[test]
+    fn footer_attributes_self_time_to_layers() {
+        let stats = StatsRegistry::new();
+        stats.counter("store.chunk_fetches").add(1); // pre-recorder: baseline
+        let rec = TraceRecorder::enabled(&stats);
+        stats.counter("store.chunk_fetches").add(4);
+        let outer = rec.span(Layer::Fuse, "fuse.read", VTime::from_nanos(0));
+        let inner = rec.span(Layer::Store, "store.chunk_fetch", VTime::from_nanos(20));
+        inner.finish(VTime::from_nanos(80));
+        outer.finish(VTime::from_nanos(100));
+        let f = rec.footer(10);
+        assert_eq!(f.window_ns, (0, 100));
+        assert_eq!(f.spans_recorded, 2);
+        // fuse self = 100 - 60 = 40; store self = 60.
+        assert_eq!(f.total_self_ns(), 100);
+        assert!((f.layer_pct(Layer::Fuse) - 40.0).abs() < 1e-9);
+        assert!((f.layer_pct(Layer::Store) - 60.0).abs() < 1e-9);
+        assert_eq!(f.top_spans[0].name, "fuse.read");
+        assert_eq!(f.top_spans[1].dur_ns, 60);
+        // Counter delta excludes the pre-recorder increment.
+        assert_eq!(f.counters.get("store.chunk_fetches"), 4);
+        // Both spans fed latency histograms.
+        assert_eq!(f.hist("lat.fuse.read").unwrap().count, 1);
+        assert_eq!(f.hist("lat.store.chunk_fetch").unwrap().max_ns, 60);
+    }
+
+    #[test]
+    fn disabled_footer_is_empty() {
+        let f = TraceRecorder::disabled().footer(5);
+        assert_eq!(f.spans_recorded, 0);
+        assert!(f.layers.is_empty());
+        assert_eq!(f.layer_pct(Layer::Fuse), 0.0);
+    }
+}

@@ -1,0 +1,454 @@
+//! Virtual-time span recording.
+//!
+//! A [`TraceRecorder`] lives next to the `StatsRegistry` in a cluster. Each
+//! instrumented operation opens a [`SpanGuard`] with its virtual start time
+//! and closes it with the virtual completion time the layer computed —
+//! tracing never participates in the time arithmetic, so enabling it cannot
+//! perturb results. Parent/child links come from a per-host-thread open-span
+//! stack: layer calls are synchronous (mount → store → net → device), and
+//! the engine's baton (one simulated process executes at a time, in
+//! `(virtual clock, id)` order) makes the shared append order — and thus the
+//! whole trace — deterministic.
+
+use parking_lot::Mutex;
+use simcore::{EngineObserver, Histogram, ProcId, Snapshot, StatsRegistry, VTime};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::ThreadId;
+
+/// Which layer of the stack a span or instant belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// Application-visible nvmalloc API (`NvmClient`, `NvmVec`).
+    Nvm,
+    /// FUSE memory-mapped cache layer.
+    Fuse,
+    /// Aggregate chunk store (manager RPCs, chunk fetches, repair).
+    Store,
+    /// Interconnect transfers.
+    Net,
+    /// SSD / PFS device service.
+    Dev,
+    /// Injected fault events (instants).
+    Fault,
+}
+
+impl Layer {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Layer::Nvm => "nvm",
+            Layer::Fuse => "fuse",
+            Layer::Store => "store",
+            Layer::Net => "net",
+            Layer::Dev => "dev",
+            Layer::Fault => "fault",
+        }
+    }
+
+    pub const ALL: [Layer; 6] = [
+        Layer::Nvm,
+        Layer::Fuse,
+        Layer::Store,
+        Layer::Net,
+        Layer::Dev,
+        Layer::Fault,
+    ];
+}
+
+/// One closed span. `id` is the span's index in creation order; `parent`
+/// points at the span that was open on the same host thread when this one
+/// started (lexical call nesting, which for async work — write-back,
+/// read-ahead — may *end* after the parent does).
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    pub id: u32,
+    pub parent: Option<u32>,
+    /// Trace lane: the engine `ProcId` for spans recorded inside a
+    /// simulated process, or a high-numbered driver lane otherwise.
+    pub lane: u32,
+    pub layer: Layer,
+    pub name: &'static str,
+    pub start: VTime,
+    pub end: VTime,
+    pub args: Vec<(&'static str, u64)>,
+}
+
+impl SpanRecord {
+    pub fn dur(&self) -> VTime {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// A point event (fault injections, failovers).
+#[derive(Clone, Debug)]
+pub struct InstantRecord {
+    pub lane: u32,
+    pub layer: Layer,
+    pub name: String,
+    pub t: VTime,
+}
+
+/// Lane number handed to host threads that are not bound to an engine
+/// process (the bench driver doing setup I/O). Engine lanes are `ProcId`s
+/// counting from zero, so the two ranges cannot collide in practice.
+const DRIVER_LANE_BASE: u32 = 1_000_000;
+
+/// Spans kept before the recorder starts dropping (footer reports drops).
+const MAX_SPANS: usize = 1 << 21;
+
+struct Inner {
+    stats: StatsRegistry,
+    baseline: Snapshot,
+    spans: Mutex<Vec<SpanRecord>>,
+    instants: Mutex<Vec<InstantRecord>>,
+    /// Per-host-thread stack of open span ids (lexical nesting).
+    open: Mutex<HashMap<ThreadId, Vec<u32>>>,
+    /// Host thread → lane binding (set by the engine observer).
+    lanes: Mutex<HashMap<ThreadId, u32>>,
+    lane_labels: Mutex<BTreeMap<u32, String>>,
+    next_driver_lane: AtomicU64,
+    dropped: AtomicU64,
+    /// Latency histograms per span name, interned once per name.
+    hists: Mutex<HashMap<&'static str, Histogram>>,
+}
+
+/// Records spans/instants when enabled; every method is a cheap no-op when
+/// disabled (one branch, no allocation, no locking). Cheap to clone —
+/// clones share the underlying trace.
+#[derive(Clone, Default)]
+pub struct TraceRecorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl TraceRecorder {
+    /// A recorder that drops everything (the default for every cluster).
+    pub fn disabled() -> Self {
+        TraceRecorder { inner: None }
+    }
+
+    /// A live recorder. `stats` is snapshotted now so the footer can report
+    /// counter deltas over the traced window, and receives the latency
+    /// histograms (`lat.<span name>`).
+    pub fn enabled(stats: &StatsRegistry) -> Self {
+        TraceRecorder {
+            inner: Some(Arc::new(Inner {
+                stats: stats.clone(),
+                baseline: stats.snapshot(),
+                spans: Mutex::new(Vec::new()),
+                instants: Mutex::new(Vec::new()),
+                open: Mutex::new(HashMap::new()),
+                lanes: Mutex::new(HashMap::new()),
+                lane_labels: Mutex::new(BTreeMap::new()),
+                next_driver_lane: AtomicU64::new(DRIVER_LANE_BASE as u64),
+                dropped: AtomicU64::new(0),
+                hists: Mutex::new(HashMap::new()),
+            })),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn lane_of_current_thread(inner: &Inner) -> u32 {
+        let tid = std::thread::current().id();
+        if let Some(&lane) = inner.lanes.lock().get(&tid) {
+            return lane;
+        }
+        let lane = inner.next_driver_lane.fetch_add(1, Ordering::Relaxed) as u32;
+        inner.lanes.lock().insert(tid, lane);
+        inner
+            .lane_labels
+            .lock()
+            .insert(lane, format!("driver {}", lane - DRIVER_LANE_BASE));
+        lane
+    }
+
+    /// Open a span at virtual time `start`. Close it with
+    /// [`SpanGuard::finish`] at the operation's computed completion time;
+    /// a guard dropped without `finish` (early `?` return) closes
+    /// zero-length at `start`.
+    pub fn span(&self, layer: Layer, name: &'static str, start: VTime) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard {
+                rec: None,
+                id: None,
+            };
+        };
+        let mut spans = inner.spans.lock();
+        if spans.len() >= MAX_SPANS {
+            inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return SpanGuard {
+                rec: None,
+                id: None,
+            };
+        }
+        let id = spans.len() as u32;
+        let tid = std::thread::current().id();
+        let lane = Self::lane_of_current_thread(inner);
+        let mut open = inner.open.lock();
+        let stack = open.entry(tid).or_default();
+        let parent = stack.last().copied();
+        stack.push(id);
+        drop(open);
+        spans.push(SpanRecord {
+            id,
+            parent,
+            lane,
+            layer,
+            name,
+            start,
+            end: start,
+            args: Vec::new(),
+        });
+        SpanGuard {
+            rec: Some(self.clone()),
+            id: Some(id),
+        }
+    }
+
+    /// Record a point event (fault injection, failover decision).
+    pub fn instant(&self, layer: Layer, name: impl Into<String>, t: VTime) {
+        let Some(inner) = &self.inner else { return };
+        let lane = Self::lane_of_current_thread(inner);
+        inner.instants.lock().push(InstantRecord {
+            lane,
+            layer,
+            name: name.into(),
+            t,
+        });
+    }
+
+    fn close(&self, id: u32, end: VTime) {
+        let Some(inner) = &self.inner else { return };
+        let tid = std::thread::current().id();
+        {
+            let mut open = inner.open.lock();
+            let stack = open.entry(tid).or_default();
+            debug_assert_eq!(
+                stack.last().copied(),
+                Some(id),
+                "spans must close in LIFO order on a thread"
+            );
+            if let Some(pos) = stack.iter().rposition(|&s| s == id) {
+                stack.truncate(pos);
+            }
+        }
+        let mut spans = inner.spans.lock();
+        let rec = &mut spans[id as usize];
+        rec.end = rec.start.max(end);
+        let dur = rec.end.saturating_sub(rec.start).as_nanos();
+        let name = rec.name;
+        drop(spans);
+        let hist = {
+            let mut hists = inner.hists.lock();
+            hists
+                .entry(name)
+                .or_insert_with(|| inner.stats.histogram(&format!("lat.{name}")))
+                .clone()
+        };
+        hist.record(dur);
+    }
+
+    fn add_arg(&self, id: u32, k: &'static str, v: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner.spans.lock()[id as usize].args.push((k, v));
+    }
+
+    /// Bind the calling host thread to an engine lane and label it. Used by
+    /// the engine observer; also callable directly from tests.
+    pub fn bind_lane(&self, lane: u32, label: impl Into<String>) {
+        let Some(inner) = &self.inner else { return };
+        let tid = std::thread::current().id();
+        inner.lanes.lock().insert(tid, lane);
+        inner.lane_labels.lock().entry(lane).or_insert(label.into());
+    }
+
+    /// An [`EngineObserver`] that binds each engine process's host thread
+    /// to trace lane `ProcId` (`None` when disabled, so `Engine::run` pays
+    /// nothing).
+    pub fn observer(&self) -> Option<Arc<dyn EngineObserver>> {
+        self.inner.as_ref()?;
+        Some(Arc::new(LaneBinder { rec: self.clone() }))
+    }
+
+    /// Closed-so-far spans, in creation order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        match &self.inner {
+            Some(inner) => inner.spans.lock().clone(),
+            None => Vec::new(),
+        }
+    }
+
+    pub fn instants(&self) -> Vec<InstantRecord> {
+        match &self.inner {
+            Some(inner) => inner.instants.lock().clone(),
+            None => Vec::new(),
+        }
+    }
+
+    pub fn lane_labels(&self) -> BTreeMap<u32, String> {
+        match &self.inner {
+            Some(inner) => inner.lane_labels.lock().clone(),
+            None => BTreeMap::new(),
+        }
+    }
+
+    pub fn dropped(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.dropped.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// The registry this recorder feeds (panics when disabled).
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.inner.as_ref().expect("recorder disabled").stats
+    }
+
+    /// Counter values captured when the recorder was created.
+    pub fn baseline(&self) -> Snapshot {
+        match &self.inner {
+            Some(inner) => inner.baseline.clone(),
+            None => Snapshot::default(),
+        }
+    }
+}
+
+impl std::fmt::Debug for TraceRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRecorder")
+            .field("enabled", &self.is_enabled())
+            .field("spans", &self.spans().len())
+            .finish()
+    }
+}
+
+struct LaneBinder {
+    rec: TraceRecorder,
+}
+
+impl EngineObserver for LaneBinder {
+    fn proc_started(&self, id: ProcId, _t: VTime) {
+        self.rec.bind_lane(id as u32, format!("rank {id}"));
+    }
+
+    fn proc_finished(&self, _id: ProcId, _t: VTime) {}
+}
+
+/// Handle to an open span. `finish(end)` closes it at the operation's
+/// computed virtual completion time; `arg` attaches small key/value pairs
+/// (bytes, node ids, chunk indices) for the exported trace.
+#[must_use = "call finish(end) with the op's virtual completion time"]
+pub struct SpanGuard {
+    rec: Option<TraceRecorder>,
+    id: Option<u32>,
+}
+
+impl SpanGuard {
+    pub fn arg(&self, k: &'static str, v: u64) -> &Self {
+        if let (Some(rec), Some(id)) = (&self.rec, self.id) {
+            rec.add_arg(id, k, v);
+        }
+        self
+    }
+
+    /// Close the span at virtual time `end`.
+    pub fn finish(mut self, end: VTime) {
+        if let (Some(rec), Some(id)) = (self.rec.take(), self.id.take()) {
+            rec.close(id, end);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        // Early-error path: close zero-length so the thread stack stays
+        // balanced and the export stays well-formed.
+        if let (Some(rec), Some(id)) = (self.rec.take(), self.id.take()) {
+            let start = rec
+                .inner
+                .as_ref()
+                .map(|i| i.spans.lock()[id as usize].start)
+                .unwrap_or(VTime::ZERO);
+            rec.close(id, start);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = TraceRecorder::disabled();
+        let sp = rec.span(Layer::Fuse, "fuse.read", VTime::from_nanos(5));
+        sp.arg("bytes", 100);
+        sp.finish(VTime::from_nanos(9));
+        rec.instant(Layer::Fault, "crash", VTime::ZERO);
+        assert!(rec.spans().is_empty());
+        assert!(rec.instants().is_empty());
+        assert!(rec.observer().is_none());
+    }
+
+    #[test]
+    fn spans_nest_lexically() {
+        let stats = StatsRegistry::new();
+        let rec = TraceRecorder::enabled(&stats);
+        let outer = rec.span(Layer::Fuse, "fuse.read", VTime::from_nanos(10));
+        let inner = rec.span(Layer::Store, "store.chunk_fetch", VTime::from_nanos(12));
+        inner.arg("chunk", 3);
+        inner.finish(VTime::from_nanos(20));
+        outer.finish(VTime::from_nanos(25));
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[1].args, vec![("chunk", 3)]);
+        assert_eq!(spans[0].dur(), VTime::from_nanos(15));
+        // Latency histogram was fed with the duration.
+        assert_eq!(stats.histogram("lat.store.chunk_fetch").count(), 1);
+        assert_eq!(stats.histogram("lat.store.chunk_fetch").max(), 8);
+    }
+
+    #[test]
+    fn dropped_guard_closes_zero_length() {
+        let stats = StatsRegistry::new();
+        let rec = TraceRecorder::enabled(&stats);
+        {
+            let _sp = rec.span(Layer::Store, "store.write_pages", VTime::from_nanos(7));
+            // early `?` return: guard dropped without finish
+        }
+        let after = rec.span(Layer::Store, "store.other", VTime::from_nanos(8));
+        after.finish(VTime::from_nanos(9));
+        let spans = rec.spans();
+        assert_eq!(spans[0].dur(), VTime::ZERO);
+        assert_eq!(spans[1].parent, None, "dropped guard must pop the stack");
+    }
+
+    #[test]
+    fn end_clamps_to_start() {
+        let stats = StatsRegistry::new();
+        let rec = TraceRecorder::enabled(&stats);
+        let sp = rec.span(Layer::Net, "net.xfer", VTime::from_nanos(10));
+        sp.finish(VTime::from_nanos(3));
+        assert_eq!(rec.spans()[0].end, VTime::from_nanos(10));
+    }
+
+    #[test]
+    fn lanes_bind_per_thread() {
+        let stats = StatsRegistry::new();
+        let rec = TraceRecorder::enabled(&stats);
+        rec.bind_lane(2, "rank 2");
+        rec.span(Layer::Nvm, "nvm.read", VTime::ZERO)
+            .finish(VTime::ZERO);
+        let spans = rec.spans();
+        assert_eq!(spans[0].lane, 2);
+        assert_eq!(
+            rec.lane_labels().get(&2).map(String::as_str),
+            Some("rank 2")
+        );
+    }
+}

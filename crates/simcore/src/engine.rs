@@ -239,6 +239,17 @@ impl ProcCtx {
     }
 }
 
+/// Observer hooks invoked while a process holds the baton, so callbacks
+/// fire in deterministic `(virtual clock, ProcId)` order. The observability
+/// layer (`crates/obs`) implements this to bind trace lanes to engine
+/// processes; the engine itself has no tracing dependency.
+pub trait EngineObserver: Send + Sync {
+    /// The process is about to execute its body on the current host thread.
+    fn proc_started(&self, id: ProcId, t: VTime);
+    /// The process body returned; `t` is its finish clock.
+    fn proc_finished(&self, id: ProcId, t: VTime);
+}
+
 /// Outcome of an [`Engine::run`].
 #[derive(Clone, Debug)]
 pub struct EngineReport {
@@ -264,6 +275,21 @@ impl Engine {
     where
         F: FnOnce(&mut ProcCtx) + Send + 'env,
     {
+        Self::run_with_observer(bodies, None)
+    }
+
+    /// Like [`Engine::run`], with observer callbacks at each process's
+    /// start and finish. The callbacks run while the process holds the
+    /// baton, so they occur in deterministic virtual-time order and on the
+    /// process's own host thread (which lets an observer key thread-local
+    /// state, e.g. trace lanes, by `ProcId`).
+    pub fn run_with_observer<'env, F>(
+        bodies: Vec<F>,
+        observer: Option<Arc<dyn EngineObserver>>,
+    ) -> EngineReport
+    where
+        F: FnOnce(&mut ProcCtx) + Send + 'env,
+    {
         let n = bodies.len();
         assert!(n > 0, "engine needs at least one process");
         let shared = Arc::new(Shared {
@@ -285,6 +311,7 @@ impl Engine {
             let mut handles = Vec::with_capacity(n);
             for (id, body) in bodies.into_iter().enumerate() {
                 let shared = Arc::clone(&shared);
+                let observer = observer.clone();
                 handles.push(scope.spawn(move || {
                     let mut ctx = ProcCtx {
                         id,
@@ -296,7 +323,13 @@ impl Engine {
                     let guard = PoisonGuard {
                         shared: Arc::clone(&ctx.shared),
                     };
+                    if let Some(obs) = &observer {
+                        obs.proc_started(id, ctx.now());
+                    }
                     body(&mut ctx);
+                    if let Some(obs) = &observer {
+                        obs.proc_finished(id, ctx.now());
+                    }
                     std::mem::forget(guard);
                     ctx.finish();
                 }));

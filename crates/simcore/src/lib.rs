@@ -49,7 +49,7 @@ pub mod stats;
 pub mod time;
 
 pub use collective::{Rendezvous, Resolution};
-pub use engine::{Engine, EngineReport, ProcCtx, ProcId};
+pub use engine::{Engine, EngineObserver, EngineReport, ProcCtx, ProcId};
 pub use resource::{Grant, MeteredResource, Resource};
-pub use stats::{Counter, Snapshot, StatsRegistry};
+pub use stats::{Counter, Histogram, Percentiles, Snapshot, StatsRegistry};
 pub use time::{bytes, Bandwidth, VTime};

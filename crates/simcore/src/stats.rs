@@ -1,10 +1,12 @@
-//! Lightweight named counters for traffic accounting.
+//! Lightweight named counters and latency histograms for accounting.
 //!
 //! The paper's evaluation reports several *volume* tables (Table IV: bytes
 //! seen by the application vs. the FUSE layer vs. the SSD store; Table VII:
 //! write-optimization volumes). Every layer of the reproduction stack
 //! increments `Counter`s, and experiments snapshot/diff them through a
-//! [`StatsRegistry`].
+//! [`StatsRegistry`]. Latency *distributions* (virtual-time span durations
+//! per layer per op kind) go into log-bucketed [`Histogram`]s with
+//! deterministic percentiles, registered in the same registry.
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -54,10 +56,181 @@ impl fmt::Display for Counter {
     }
 }
 
-/// A registry of counters so whole subsystems can be snapshotted at once.
+/// Sub-bucket resolution of [`Histogram`]: each power-of-two decade is
+/// split into `2^SUB_BITS` linear sub-buckets (~3% relative error).
+const SUB_BITS: u32 = 5;
+const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` range.
+const HIST_BUCKETS: usize = (64 - SUB_BITS as usize) * SUB_BUCKETS + SUB_BUCKETS;
+
+/// Bucket index for a value (HdrHistogram-style log-linear layout).
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let major = (msb - SUB_BITS + 1) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) as usize) - SUB_BUCKETS;
+    major * SUB_BUCKETS + sub
+}
+
+/// Largest value falling into bucket `idx` — the deterministic
+/// representative reported by [`Histogram::quantile`].
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS {
+        return idx as u64;
+    }
+    let major = idx / SUB_BUCKETS;
+    let sub = (idx % SUB_BUCKETS) as u128;
+    // u128 intermediate: the top bucket's bound exceeds u64 and clamps.
+    let hi = ((SUB_BUCKETS as u128 + sub + 1) << (major - 1)) - 1;
+    hi.min(u64::MAX as u128) as u64
+}
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Deterministic percentile triple reported per histogram.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Percentiles {
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+}
+
+/// A log-bucketed `u64` histogram with deterministic quantiles.
+///
+/// Power-of-two major buckets are split into 32 linear sub-buckets, so a
+/// reported quantile is within ~3% of the exact order statistic and — more
+/// importantly for this repo — is a *pure function of the recorded
+/// multiset*: identical runs report identical percentiles. Cheap to clone
+/// (shared), like [`Counter`].
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    name: Arc<str>,
+    inner: Arc<HistInner>,
+}
+
+impl Histogram {
+    pub fn new(name: impl Into<String>) -> Self {
+        Histogram {
+            name: Arc::from(name.into().into_boxed_str()),
+            inner: Arc::new(HistInner {
+                buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn record(&self, v: u64) {
+        let i = &self.inner;
+        i.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        i.count.fetch_add(1, Ordering::Relaxed);
+        i.sum.fetch_add(v, Ordering::Relaxed);
+        i.min.fetch_min(v, Ordering::Relaxed);
+        i.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.inner.max.load(Ordering::Relaxed)
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        let m = self.inner.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// holding the `ceil(q * count)`-th smallest sample (0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (idx, b) in self.inner.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper(idx).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+
+    pub fn reset(&self) {
+        let i = &self.inner;
+        for b in &i.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        i.count.store(0, Ordering::Relaxed);
+        i.sum.store(0, Ordering::Relaxed);
+        i.min.store(u64::MAX, Ordering::Relaxed);
+        i.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = self.percentiles();
+        write!(
+            f,
+            "{}: n={} p50={} p95={} p99={} max={}",
+            self.name,
+            self.count(),
+            p.p50,
+            p.p95,
+            p.p99,
+            self.max()
+        )
+    }
+}
+
+/// A registry of counters and histograms so whole subsystems can be
+/// snapshotted at once.
 #[derive(Clone, Default)]
 pub struct StatsRegistry {
     counters: Arc<Mutex<BTreeMap<String, Counter>>>,
+    hists: Arc<Mutex<BTreeMap<String, Histogram>>>,
 }
 
 impl StatsRegistry {
@@ -90,10 +263,26 @@ impl StatsRegistry {
         }
     }
 
-    /// Set every counter back to zero.
+    /// Get or create the histogram with this name.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.hists.lock();
+        map.entry(name.to_string())
+            .or_insert_with(|| Histogram::new(name))
+            .clone()
+    }
+
+    /// Every registered histogram, in name order.
+    pub fn histograms(&self) -> Vec<Histogram> {
+        self.hists.lock().values().cloned().collect()
+    }
+
+    /// Set every counter and histogram back to zero.
     pub fn reset_all(&self) {
         for c in self.counters.lock().values() {
             c.reset();
+        }
+        for h in self.hists.lock().values() {
+            h.reset();
         }
     }
 }
@@ -117,14 +306,16 @@ impl Snapshot {
         self.values.get(name).copied().unwrap_or(0)
     }
 
-    /// Per-counter difference `self - earlier` (counters are monotonic, so
-    /// missing earlier entries count as zero).
+    /// Per-counter difference `self - earlier` (missing earlier entries
+    /// count as zero). Saturates at zero: a `reset_all()` between the two
+    /// snapshots makes the later value smaller, which must read as "no
+    /// progress since", not a u64 underflow panic.
     pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
         Snapshot {
             values: self
                 .values
                 .iter()
-                .map(|(k, v)| (k.clone(), v - earlier.get(k)))
+                .map(|(k, v)| (k.clone(), v.saturating_sub(earlier.get(k))))
                 .collect(),
         }
     }
@@ -181,5 +372,89 @@ mod tests {
         reg.counter("a").add(10);
         reg.reset_all();
         assert_eq!(reg.get("a"), 0);
+    }
+
+    /// Regression: `reset_all()` between snapshots used to make
+    /// `delta_since` underflow-panic (`later < earlier`). It must clamp.
+    #[test]
+    fn delta_since_survives_reset_between_snapshots() {
+        let reg = StatsRegistry::new();
+        reg.counter("a").add(100);
+        reg.counter("b").add(3);
+        let s1 = reg.snapshot();
+        reg.reset_all();
+        reg.counter("a").add(7);
+        let s2 = reg.snapshot();
+        let d = s2.delta_since(&s1);
+        assert_eq!(d.get("a"), 0); // 7 - 100, clamped
+        assert_eq!(d.get("b"), 0); // 0 - 3, clamped
+    }
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_ordered() {
+        // Exact for small values; upper bounds strictly increase and every
+        // value maps into a bucket whose upper bound is >= the value.
+        for v in 0..((SUB_BUCKETS as u64) * 4) {
+            assert!(bucket_upper(bucket_index(v)) >= v);
+        }
+        for idx in 1..HIST_BUCKETS {
+            assert!(bucket_upper(idx) > bucket_upper(idx - 1));
+        }
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_exact_below_subbucket_resolution() {
+        let h = Histogram::new("h");
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 55);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10);
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(1.0), 10);
+        assert_eq!(h.quantile(0.0), 1); // rank clamps to 1
+    }
+
+    #[test]
+    fn histogram_quantiles_within_relative_error() {
+        let h = Histogram::new("h");
+        for v in 1..=10_000u64 {
+            h.record(v * 1000); // 1µs .. 10ms in ns, log-spread
+        }
+        let p = h.percentiles();
+        let within =
+            |got: u64, exact: u64| got >= exact && (got - exact) as f64 <= exact as f64 * 0.04;
+        assert!(within(p.p50, 5_000_000), "p50={}", p.p50);
+        assert!(within(p.p95, 9_500_000), "p95={}", p.p95);
+        assert!(within(p.p99, 9_900_000), "p99={}", p.p99);
+        assert_eq!(h.quantile(1.0), 10_000_000); // clamped to exact max
+    }
+
+    #[test]
+    fn histogram_empty_and_reset() {
+        let h = Histogram::new("h");
+        assert!(h.is_empty());
+        assert_eq!(h.percentiles(), Percentiles::default());
+        h.record(42);
+        h.reset();
+        assert!(h.is_empty());
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn registry_returns_same_histogram() {
+        let reg = StatsRegistry::new();
+        reg.histogram("h").record(5);
+        reg.histogram("h").record(9);
+        assert_eq!(reg.histogram("h").count(), 2);
+        let all = reg.histograms();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].name(), "h");
+        reg.reset_all();
+        assert!(reg.histogram("h").is_empty());
     }
 }

@@ -1,0 +1,43 @@
+//! Validate an exported Chrome trace-event file.
+//!
+//! ```text
+//! cargo run -q --example validate_trace -- target/trace.json
+//! ```
+//!
+//! Checks the JSON against the subset of the Chrome trace-event format the
+//! `obs` exporter emits (and Perfetto consumes): every event carries
+//! `name`/`ph`/`pid`/`tid`, non-metadata events carry `ts`, per-track
+//! timestamps are non-decreasing, and `B`/`E` duration events are balanced
+//! with matching names. Exits non-zero on the first violation, so CI can
+//! gate on trace-format drift (see scripts/check.sh).
+
+use obs::validate_chrome_trace;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .expect("usage: validate_trace <trace.json>");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate_trace: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match validate_chrome_trace(&text) {
+        Ok(summary) => {
+            println!(
+                "{path}: OK — {} events ({} spans, {} instants) on {} tracks",
+                summary.events, summary.spans, summary.instants, summary.tracks
+            );
+            if summary.spans == 0 {
+                eprintln!("{path}: trace contains no spans");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID — {e}");
+            std::process::exit(1);
+        }
+    }
+}

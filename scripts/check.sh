@@ -28,8 +28,12 @@ cargo build --benches -q --workspace
 echo "==> pipeline_overlap smoke (serial baseline must match committed expectations)"
 smoke_dir="$(pwd)/target/bench-json-smoke"
 rm -rf "$smoke_dir"
-BENCH_JSON_DIR="$smoke_dir" cargo bench -q -p bench --bench pipeline_overlap -- --smoke
+BENCH_JSON_DIR="$smoke_dir" cargo bench -q -p bench --bench pipeline_overlap -- --smoke \
+    --trace "$smoke_dir/trace_smoke.json"
 diff -u crates/bench/expected/BENCH_pipeline_overlap_serial.json \
     "$smoke_dir/BENCH_pipeline_overlap_serial.json"
+
+echo "==> exported trace must satisfy the Chrome trace-event schema"
+cargo run -q --release --example validate_trace -- "$smoke_dir/trace_smoke.json"
 
 echo "All checks passed."
