@@ -671,14 +671,20 @@ impl AggregateStore {
         Ok(end)
     }
 
-    /// Batched write-back: one manager RPC covers every entry, then each
-    /// entry's transfer + SSD chain is issued from the shared resolution
-    /// time in input order — entries bound for distinct benefactors
-    /// overlap, same-benefactor entries queue FIFO on its resources.
+    /// Batched write-back: one manager RPC covers every entry, then the
+    /// entries run as per-benefactor chains exactly like
+    /// [`Self::fetch_chunks`] — entries bound for the same primary home
+    /// chain serially (entry `i+1` ships when entry `i`'s replicas have
+    /// all acknowledged), chains on distinct benefactors proceed
+    /// concurrently from the shared resolution time, so a background
+    /// flush scales with stripe width. Chains are drained min-cursor
+    /// first, keeping resource requests in non-decreasing virtual time.
     /// Returns per-entry completion times in input order (a flush's
     /// completion is their max). Replication semantics per entry are
     /// identical to [`Self::write_pages`]: each entry independently ships
-    /// to every live home and drops dead ones.
+    /// to every live home and drops dead ones; an entry with no live home
+    /// runs unchained from the resolution time and surfaces the same
+    /// error the serial path would.
     pub fn write_pages_batch(
         &self,
         t: VTime,
@@ -696,19 +702,81 @@ impl AggregateStore {
         let sp = self.trace.span(Layer::Store, "store.write_batch", t);
         sp.arg("entries", entries.len() as u64);
         let t0 = self.mgr_rpc(t, client_node);
-        let ends: Result<Vec<VTime>> = entries
-            .iter()
-            .map(|e| {
-                let esp = self.trace.span(Layer::Store, "store.write_pages", t0);
-                esp.arg("file", e.file.0).arg("idx", e.idx as u64);
-                let end = self.write_pages_resolved(t0, client_node, e.file, e.idx, e.updates)?;
-                esp.finish(end);
-                Ok(end)
-            })
-            .collect();
-        let ends = ends?;
+
+        // Group entries by the benefactor their bytes land on first (the
+        // primary live home). Resolution here is advisory — it only
+        // shapes chains; `write_pages_resolved` re-resolves
+        // authoritatively per entry.
+        let keys: Vec<Option<BenefactorId>> = {
+            let mgr = self.mgr.lock();
+            entries
+                .iter()
+                .map(|e| Self::primary_live_home(&mgr, e.file, e.idx))
+                .collect()
+        };
+        let mut groups: BTreeMap<BenefactorId, (VTime, Vec<usize>)> = BTreeMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            if let Some(home) = k {
+                groups.entry(*home).or_insert((t0, Vec::new())).1.push(i);
+            }
+        }
+        let mut ends: Vec<VTime> = vec![t0; entries.len()];
+        loop {
+            let next = groups
+                .iter()
+                .filter(|(_, (_, order))| !order.is_empty())
+                .min_by_key(|(home, (at, _))| (*at, **home))
+                .map(|(&home, _)| home);
+            let Some(home) = next else { break };
+            let (at, order) = groups.get_mut(&home).expect("group exists");
+            let i = order.remove(0);
+            let e = &entries[i];
+            let esp = self.trace.span(Layer::Store, "store.write_pages", *at);
+            esp.arg("file", e.file.0).arg("idx", e.idx as u64);
+            let end = self.write_pages_resolved(*at, client_node, e.file, e.idx, e.updates)?;
+            esp.finish(end);
+            *at = end;
+            ends[i] = end;
+        }
+        // Entries with no live home at batch time (they error, or — for
+        // holes — allocate wherever space remains) run from t0.
+        for (i, k) in keys.iter().enumerate() {
+            if k.is_some() {
+                continue;
+            }
+            let e = &entries[i];
+            let esp = self.trace.span(Layer::Store, "store.write_pages", t0);
+            esp.arg("file", e.file.0).arg("idx", e.idx as u64);
+            let end = self.write_pages_resolved(t0, client_node, e.file, e.idx, e.updates)?;
+            esp.finish(end);
+            ends[i] = end;
+        }
         sp.finish(ends.iter().copied().max().unwrap_or(t0));
         Ok(ends)
+    }
+
+    /// The benefactor a write to `(file, idx)` primarily lands on — the
+    /// chain-grouping key for [`Self::write_pages_batch`]. `None` when no
+    /// listed home is alive or the slot does not resolve; such entries
+    /// run unchained and reproduce the serial path's outcome.
+    fn primary_live_home(mgr: &Manager, file: FileId, idx: usize) -> Option<BenefactorId> {
+        let meta = mgr.file(file).ok()?;
+        let slot = *meta.slots.get(idx)?;
+        match slot {
+            Slot::Unmaterialized => meta
+                .homes_of_slot(idx)
+                .into_iter()
+                .find(|&h| mgr.benefactor(h).is_alive()),
+            Slot::Hole => mgr
+                .alive_benefactors()
+                .into_iter()
+                .find(|&b| mgr.benefactor(b).can_allocate_chunk(false)),
+            Slot::Chunk(c) => mgr
+                .chunk_homes(c)?
+                .iter()
+                .copied()
+                .find(|&h| mgr.benefactor(h).is_alive()),
+        }
     }
 
     fn validate_updates(&self, updates: &[(u64, &[u8])]) {

@@ -464,6 +464,68 @@ mod tests {
     }
 
     #[test]
+    fn writeback_daemon_job_plumbs_through_and_stays_deterministic() {
+        // The write-back knobs (DESIGN.md §10) flow from `Cluster::with_fuse`
+        // into every node's mount: a job whose writer outruns the flusher
+        // sees background flushes and throttle stalls on the cluster-wide
+        // counters, and two invocations reproduce identical virtual-time
+        // numbers.
+        let run = || {
+            let cfg = JobConfig::remote(2, 2, 2);
+            let fuse = fusemm::FuseConfig {
+                cache_bytes: 4 * 256 * 1024, // four chunks
+                read_ahead_chunks: 0,
+                ..fusemm::FuseConfig::default()
+            }
+            .with_writeback(0.25, 0.5)
+            .with_seg_cache();
+            let cluster = Cluster::with_fuse(
+                ClusterSpec::hal().scaled(256),
+                &cfg.benefactor_nodes(),
+                fuse,
+            );
+            const CHUNK_ELEMS: usize = 32 * 1024; // 256 KiB of u64
+            let result = run_job(&cluster, &cfg, Calibration::default(), |ctx, env| {
+                let v = env
+                    .client
+                    .ssdmalloc_shared::<u64>(ctx, "v", 8 * CHUNK_ELEMS)
+                    .unwrap();
+                if env.rank == 0 {
+                    // Dirty 8 chunks through the 4-chunk cache faster than
+                    // the flusher drains them.
+                    let data: Vec<u64> = (0..CHUNK_ELEMS as u64).collect();
+                    for c in 0..8 {
+                        v.write_slice(ctx, c * CHUNK_ELEMS, &data).unwrap();
+                    }
+                    v.flush(ctx).unwrap();
+                }
+                env.comm.barrier(ctx, env.rank);
+                let mut sum = 0u64;
+                for i in (0..8 * CHUNK_ELEMS).step_by(4096) {
+                    sum += v.get(ctx, i).unwrap();
+                }
+                sum
+            });
+            (
+                result.outputs.clone(),
+                result.makespan(),
+                cluster.stats.get("fuse.bg_flushes"),
+                cluster.stats.get("fuse.throttled_writes"),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "daemon-enabled job reproduces exactly");
+        let (outputs, _, bg, throttled) = a;
+        assert!(bg >= 1, "background flusher ran during the job");
+        assert!(throttled >= 1, "writer outran the flusher and stalled");
+        assert!(
+            outputs.windows(2).all(|w| w[0] == w[1]),
+            "every rank read the same bytes"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "benefactor placement")]
     fn mismatched_cluster_rejected() {
         let cfg = JobConfig::remote(2, 2, 2);

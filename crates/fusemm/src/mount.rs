@@ -47,6 +47,21 @@ pub struct FuseConfig {
     /// 1→`read_ahead_chunks` on a sustained stream. Off by default so the
     /// paper-fidelity benches keep the serial §III-D data path.
     pub pipelined_io: bool,
+    /// Write-back daemon (DESIGN.md §10): when the dirty-chunk ratio of
+    /// the cache exceeds this, a background flusher batch starts cleaning
+    /// the oldest dirty chunks without charging the foreground clock.
+    /// `1.0` (the default) disables the daemon — dirty chunks are only
+    /// written back at eviction, today's demand path.
+    pub dirty_background_ratio: f64,
+    /// When the dirty-chunk ratio would exceed this, foreground writers
+    /// stall behind the flusher until it drains (the Linux
+    /// `balance_dirty_pages` analogue). `1.0` (the default) never
+    /// throttles. Must be >= `dirty_background_ratio`.
+    pub dirty_hard_ratio: f64,
+    /// Segmented (probation/protected) scan-resistant cache with
+    /// clean-first victim selection (DESIGN.md §10). Off by default: the
+    /// plain LRU keeps the paper-fidelity expectations bit-identical.
+    pub seg_cache: bool,
 }
 
 impl Default for FuseConfig {
@@ -57,7 +72,26 @@ impl Default for FuseConfig {
             dirty_page_writeback: true,
             op_overhead: VTime::from_micros(4),
             pipelined_io: false,
+            dirty_background_ratio: 1.0,
+            dirty_hard_ratio: 1.0,
+            seg_cache: false,
         }
+    }
+}
+
+impl FuseConfig {
+    /// Enable the write-back daemon: background flushing past
+    /// `background` dirty ratio, writer throttling past `hard`.
+    pub fn with_writeback(mut self, background: f64, hard: f64) -> Self {
+        self.dirty_background_ratio = background;
+        self.dirty_hard_ratio = hard;
+        self
+    }
+
+    /// Enable the segmented scan-resistant cache.
+    pub fn with_seg_cache(mut self) -> Self {
+        self.seg_cache = true;
+        self
     }
 }
 
@@ -73,6 +107,9 @@ struct MountState {
     /// counts consecutive continuations and drives the adaptive
     /// read-ahead ramp in pipelined mode.
     seq: HashMap<FileId, Vec<(u64, u32)>>,
+    /// When the background flusher's in-flight batch completes; the
+    /// daemon is idle (can take a new batch) at any `t >=` this.
+    flusher_busy_until: VTime,
 }
 
 impl MountState {
@@ -152,6 +189,11 @@ pub struct Mount {
     writeback_bytes: Counter,
     readahead_fetches: Counter,
     async_writebacks: Counter,
+    bg_flushes: Counter,
+    bg_writeback_bytes: Counter,
+    throttled_writes: Counter,
+    clean_evictions: Counter,
+    scan_protected_hits: Counter,
 }
 
 impl Mount {
@@ -159,13 +201,28 @@ impl Mount {
         let chunk = store.config().chunk_size;
         let page = store.config().page_size;
         let capacity = (cfg.cache_bytes / chunk).max(1) as usize;
+        assert!(
+            cfg.dirty_background_ratio > 0.0 && cfg.dirty_background_ratio <= 1.0,
+            "dirty_background_ratio out of (0, 1]"
+        );
+        assert!(
+            cfg.dirty_hard_ratio >= cfg.dirty_background_ratio && cfg.dirty_hard_ratio <= 1.0,
+            "dirty_hard_ratio must be within [dirty_background_ratio, 1]"
+        );
+        let pages = (chunk / page) as usize;
+        let cache = if cfg.seg_cache {
+            ChunkCache::new_segmented(capacity, pages)
+        } else {
+            ChunkCache::new(capacity, pages)
+        };
         Mount {
             store,
             node,
             cfg,
             state: Arc::new(Mutex::new(MountState {
-                cache: ChunkCache::new(capacity, (chunk / page) as usize),
+                cache,
                 seq: HashMap::new(),
+                flusher_busy_until: VTime::ZERO,
             })),
             loc_cache: LocationCache::new(stats),
             trace: TraceRecorder::disabled(),
@@ -177,6 +234,11 @@ impl Mount {
             writeback_bytes: stats.counter("fuse.writeback_bytes"),
             readahead_fetches: stats.counter("fuse.readahead_fetches"),
             async_writebacks: stats.counter("fuse.async_writebacks"),
+            bg_flushes: stats.counter("fuse.bg_flushes"),
+            bg_writeback_bytes: stats.counter("fuse.bg_writeback_bytes"),
+            throttled_writes: stats.counter("fuse.throttled_writes"),
+            clean_evictions: stats.counter("fuse.clean_evictions"),
+            scan_protected_hits: stats.counter("fuse.scan_protected_hits"),
         }
     }
 
@@ -275,6 +337,13 @@ impl Mount {
         let sp = self.trace.span(Layer::Fuse, "fuse.read", t);
         sp.arg("file", file.0).arg("bytes", buf.len() as u64);
         t += self.cfg.op_overhead;
+
+        // Foreground reads give the flusher a chance to clean concurrently
+        // (the daemon is driven from mount operations, like fault polling).
+        if self.writeback_daemon_on() {
+            let mut st = self.state.lock();
+            self.kick_bg_flush(&mut st, t);
+        }
 
         let cs = self.chunk_size();
         if self.cfg.pipelined_io {
@@ -406,7 +475,6 @@ impl Mount {
         t += self.cfg.op_overhead;
 
         let cs = self.chunk_size();
-        let ps = self.page_size();
         if self.cfg.pipelined_io {
             let mut segs = Vec::new();
             segments_of(offset, data.len() as u64, cs, 0, &mut segs);
@@ -427,7 +495,7 @@ impl Mount {
                 let entry = st.cache.peek_mut(&(file, idx)).expect("just ensured");
                 entry.data[within as usize..within as usize + take]
                     .copy_from_slice(&data[pos..pos + take]);
-                entry.dirty.mark_range(within, within + take as u64, ps);
+                t = self.note_write(&mut st, t, (file, idx), within, within + take as u64)?;
             }
             pos += take;
         }
@@ -493,17 +561,16 @@ impl Mount {
     /// failed flush leaves the pages dirty for a retry.
     fn flush_entry(&self, t: VTime, key: ChunkKey) -> Result<VTime> {
         let mut st = self.state.lock();
-        let Some(entry) = st.cache.peek_mut(&key) else {
+        let Some(entry) = st.cache.peek(&key) else {
             return Ok(t);
         };
         if !entry.dirty.any() {
             return Ok(t);
         }
-        let CacheEntry { data, dirty, .. } = entry;
-        let runs = dirty.runs(self.page_size());
+        let runs = entry.dirty.runs(self.page_size());
         let updates: Vec<(u64, &[u8])> = runs
             .iter()
-            .map(|&(off, len)| (off, &data[off as usize..(off + len) as usize]))
+            .map(|&(off, len)| (off, &entry.data[off as usize..(off + len) as usize]))
             .collect();
         let bytes: u64 = updates.iter().map(|(_, d)| d.len() as u64).sum();
         self.writeback_bytes.add(bytes);
@@ -514,7 +581,7 @@ impl Mount {
             .write_pages(t, self.node, key.0, key.1, &updates)?;
         sp.finish(end);
         drop(updates);
-        dirty.clear();
+        st.cache.clear_dirty(&key);
         Ok(end)
     }
 
@@ -566,7 +633,7 @@ impl Mount {
         drop(entries);
         drop(updates);
         for (key, _) in &dirty {
-            st.cache.peek_mut(key).expect("still cached").dirty.clear();
+            st.cache.clear_dirty(key);
         }
         let mut end = t;
         for tt in times {
@@ -574,6 +641,163 @@ impl Mount {
         }
         sp.finish(end);
         Ok(end)
+    }
+
+    // ----- write-back daemon (DESIGN.md §10) ---------------------------------
+
+    fn writeback_daemon_on(&self) -> bool {
+        self.cfg.dirty_background_ratio < 1.0
+    }
+
+    /// Dirty chunks strictly above this wake the background flusher; the
+    /// flusher drains back down to it (the low watermark).
+    fn bg_threshold(&self, capacity: usize) -> usize {
+        (capacity as f64 * self.cfg.dirty_background_ratio) as usize
+    }
+
+    /// The most dirty chunks a writer may ever create; `>= 1` so a writer
+    /// can always make progress.
+    fn hard_limit(&self, capacity: usize) -> usize {
+        ((capacity as f64 * self.cfg.dirty_hard_ratio) as usize).max(1)
+    }
+
+    /// Observed high-water dirty ratio (dirty chunks / capacity) — the
+    /// throttle-invariant probe: with the daemon on this never exceeds
+    /// `dirty_hard_ratio` at any virtual instant.
+    pub fn max_dirty_ratio(&self) -> f64 {
+        let st = self.state.lock();
+        st.cache.max_dirty_chunks() as f64 / st.cache.capacity() as f64
+    }
+
+    /// Dirty chunks currently cached (all files).
+    pub fn dirty_chunk_count(&self) -> usize {
+        self.state.lock().cache.dirty_chunks()
+    }
+
+    /// One background flusher batch, issued at `start`: take the oldest
+    /// dirty chunks (enough to drain back to the background threshold, at
+    /// least one), coalesce them into a single batched store write — one
+    /// manager RPC, per-benefactor chains overlapped — and mark them
+    /// clean. The batch's virtual time is paced by `flusher_busy_until`,
+    /// never by the foreground clock. Dirty bits clear only after the
+    /// store accepts the batch, so a failed flush (benefactor down) leaves
+    /// the pages dirty for a later retry.
+    fn bg_flush_batch(&self, st: &mut MountState, start: VTime) -> Result<VTime> {
+        let cap = st.cache.capacity();
+        let low = self.bg_threshold(cap).min(self.hard_limit(cap) - 1);
+        let dirty = st.cache.dirty_keys();
+        if dirty.is_empty() {
+            return Ok(start);
+        }
+        let take = dirty.len().saturating_sub(low).max(1).min(dirty.len());
+        let batch = &dirty[..take];
+        // A dirty chunk may itself still be in flight (prefetched, then
+        // written): the flush can only start once its data has arrived.
+        let mut start = start;
+        for key in batch {
+            start = start.max(st.cache.peek(key).expect("dirty key cached").ready_at);
+        }
+        let ps = self.page_size();
+        let runs: Vec<Vec<(u64, u64)>> = batch
+            .iter()
+            .map(|key| {
+                let e = st.cache.peek(key).expect("dirty key cached");
+                if self.cfg.dirty_page_writeback {
+                    e.dirty.runs(ps)
+                } else {
+                    vec![(0, e.data.len() as u64)]
+                }
+            })
+            .collect();
+        let updates: Vec<Vec<(u64, &[u8])>> = batch
+            .iter()
+            .zip(&runs)
+            .map(|(key, rs)| {
+                let e = st.cache.peek(key).expect("dirty key cached");
+                rs.iter()
+                    .map(|&(off, len)| (off, &e.data[off as usize..(off + len) as usize]))
+                    .collect()
+            })
+            .collect();
+        let entries: Vec<BatchWrite<'_>> = batch
+            .iter()
+            .zip(&updates)
+            .map(|(key, u)| BatchWrite {
+                file: key.0,
+                idx: key.1,
+                updates: u,
+            })
+            .collect();
+        let bytes: u64 = updates.iter().flatten().map(|(_, d)| d.len() as u64).sum();
+        let sp = self.trace.span(Layer::Fuse, "fuse.bg_flush", start);
+        sp.arg("chunks", batch.len() as u64).arg("bytes", bytes);
+        let times = self.store.write_pages_batch(start, self.node, &entries)?;
+        drop(entries);
+        drop(updates);
+        for key in batch {
+            st.cache.clear_dirty(key);
+        }
+        self.bg_flushes.inc();
+        self.bg_writeback_bytes.add(bytes);
+        self.writeback_bytes.add(bytes);
+        let mut end = start;
+        for tt in times {
+            end = end.max(tt);
+        }
+        sp.finish(end);
+        Ok(end)
+    }
+
+    /// Wake the background flusher if it is idle at `t` and the dirty
+    /// ratio is past the background threshold. The foreground clock is
+    /// untouched; a flush failure leaves the dirty bits set (the next
+    /// wake retries).
+    fn kick_bg_flush(&self, st: &mut MountState, t: VTime) {
+        if !self.writeback_daemon_on() || t < st.flusher_busy_until {
+            return;
+        }
+        let cap = st.cache.capacity();
+        if st.cache.dirty_chunks() <= self.bg_threshold(cap) {
+            return;
+        }
+        if let Ok(end) = self.bg_flush_batch(st, t) {
+            st.flusher_busy_until = end;
+        }
+    }
+
+    /// The per-write dirty bookkeeping shared by the serial and pipelined
+    /// write paths: throttle the writer while one more dirty chunk would
+    /// break the hard limit (each stall runs a flusher batch and advances
+    /// the writer's clock to its completion — `balance_dirty_pages`), then
+    /// mark the pages dirty, then wake the background flusher. Returns the
+    /// possibly-throttled clock.
+    fn note_write(
+        &self,
+        st: &mut MountState,
+        mut t: VTime,
+        key: ChunkKey,
+        start: u64,
+        end: u64,
+    ) -> Result<VTime> {
+        let ps = self.page_size();
+        if !self.writeback_daemon_on() && self.cfg.dirty_hard_ratio >= 1.0 {
+            st.cache.mark_dirty_range(&key, start, end, ps);
+            return Ok(t);
+        }
+        let transitions = st.cache.peek(&key).map(|e| !e.dirty.any()).unwrap_or(false);
+        if transitions && self.cfg.dirty_hard_ratio < 1.0 {
+            let hard = self.hard_limit(st.cache.capacity());
+            while st.cache.dirty_chunks() + 1 > hard && st.cache.dirty_chunks() > 0 {
+                let at = t.max(st.flusher_busy_until);
+                let done = self.bg_flush_batch(st, at)?;
+                st.flusher_busy_until = done;
+                t = t.max(done);
+                self.throttled_writes.inc();
+            }
+        }
+        st.cache.mark_dirty_range(&key, start, end, ps);
+        self.kick_bg_flush(st, t);
+        Ok(t)
     }
 
     // ----- internals ----------------------------------------------------------
@@ -595,6 +819,9 @@ impl Mount {
     fn ensure_chunk(&self, mut t: VTime, file: FileId, idx: usize) -> Result<VTime> {
         {
             let mut st = self.state.lock();
+            if st.cache.is_protected(&(file, idx)) {
+                self.scan_protected_hits.inc();
+            }
             if let Some(entry) = st.cache.get_mut(&(file, idx)) {
                 self.hits.inc();
                 // Prefetched data may still be in flight.
@@ -616,16 +843,32 @@ impl Mount {
         Ok(t2)
     }
 
+    /// The eviction victim under the configured policy: plain LRU, or —
+    /// with the segmented cache — the coldest *clean* entry first, so
+    /// eviction almost never pays a synchronous write-back.
+    fn pick_victim(
+        &self,
+        cache: &mut ChunkCache,
+        exclude: impl FnMut(&ChunkKey) -> bool,
+    ) -> Option<ChunkKey> {
+        if self.cfg.seg_cache {
+            cache.victim_clean_first(exclude)
+        } else {
+            cache.lru_key_excluding(exclude)
+        }
+    }
+
     /// Evict until one slot is free, writing back dirty pages (or whole
     /// chunks when the optimization is off).
     fn make_room(&self, mut t: VTime) -> Result<VTime> {
         loop {
             let victim = {
-                let st = self.state.lock();
+                let mut st = self.state.lock();
                 if !st.cache.is_full() {
                     return Ok(t);
                 }
-                st.cache.lru_key().expect("full cache has a victim")
+                self.pick_victim(&mut st.cache, |_| false)
+                    .expect("full cache has a victim")
             };
             t = self.evict(t, victim)?;
         }
@@ -641,6 +884,7 @@ impl Mount {
         };
         self.evictions.inc();
         if !entry.dirty.any() {
+            self.clean_evictions.inc();
             return Ok(t);
         }
         let updates: Vec<(u64, &[u8])> = if self.cfg.dirty_page_writeback {
@@ -717,14 +961,14 @@ impl Mount {
         }
         for idx in first..last {
             {
-                let st = self.state.lock();
+                let mut st = self.state.lock();
                 if st.cache.contains(&(file, idx)) {
                     continue;
                 }
                 // Only prefetch into free-or-clean space: prefetching must
                 // never force synchronous dirty write-back.
                 if st.cache.is_full() {
-                    let victim = st.cache.lru_key().expect("full");
+                    let victim = self.pick_victim(&mut st.cache, |_| false).expect("full");
                     let dirty = st
                         .cache
                         .peek(&victim)
@@ -767,7 +1011,6 @@ impl Mount {
         mut io: SpanIo<'_>,
     ) -> Result<VTime> {
         let cap = { self.state.lock().cache.capacity() };
-        let ps = self.page_size();
         let mut start = 0usize;
         while start < segs.len() {
             // Grow the window while its unique chunk count fits the cache.
@@ -798,9 +1041,13 @@ impl Mount {
                         SpanIo::Write(data) => {
                             entry.data[s.within..s.within + s.take]
                                 .copy_from_slice(&data[s.pos..s.pos + s.take]);
-                            entry
-                                .dirty
-                                .mark_range(s.within as u64, (s.within + s.take) as u64, ps);
+                            t = self.note_write(
+                                &mut st,
+                                t,
+                                (file, s.idx),
+                                s.within as u64,
+                                (s.within + s.take) as u64,
+                            )?;
                         }
                     }
                 }
@@ -820,6 +1067,9 @@ impl Mount {
         {
             let mut st = self.state.lock();
             for &idx in idxs {
+                if st.cache.is_protected(&(file, idx)) {
+                    self.scan_protected_hits.inc();
+                }
                 if let Some(entry) = st.cache.get_mut(&(file, idx)) {
                     self.hits.inc();
                     ready = ready.max(entry.ready_at);
@@ -865,14 +1115,15 @@ impl Mount {
         {
             let mut st = self.state.lock();
             while st.cache.capacity() - st.cache.len() < need {
-                let victim = st
-                    .cache
-                    .lru_key_excluding(|k| k.0 == file && protect.contains(&k.1))
+                let victim = self
+                    .pick_victim(&mut st.cache, |k| k.0 == file && protect.contains(&k.1))
                     .expect("window sized within cache capacity");
                 let entry = st.cache.remove(&victim).expect("victim is cached");
                 self.evictions.inc();
                 if entry.dirty.any() {
                     dirty_victims.push((victim, entry));
+                } else {
+                    self.clean_evictions.inc();
                 }
             }
         }

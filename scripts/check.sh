@@ -36,4 +36,19 @@ diff -u crates/bench/expected/BENCH_pipeline_overlap_serial.json \
 echo "==> exported trace must satisfy the Chrome trace-event schema"
 cargo run -q --release --example validate_trace -- "$smoke_dir/trace_smoke.json"
 
+echo "==> writeback_daemon smoke (defaults-off must match committed expectations)"
+BENCH_JSON_DIR="$smoke_dir" cargo bench -q -p bench --bench writeback_daemon -- --smoke
+diff -u crates/bench/expected/BENCH_writeback_daemon_serial.json \
+    "$smoke_dir/BENCH_writeback_daemon_serial.json"
+
+echo "==> write-back daemon counters must appear in the obs footer"
+for c in fuse.bg_flushes fuse.bg_writeback_bytes fuse.throttled_writes \
+         fuse.clean_evictions fuse.scan_protected_hits; do
+    grep -q "\"$c\"" "$smoke_dir/BENCH_writeback_daemon.json" \
+        || { echo "FAIL: counter $c missing from the obs footer"; exit 1; }
+done
+grep -q '"daemon: background flusher and clean-first eviction were exercised": true' \
+    "$smoke_dir/BENCH_writeback_daemon.json" \
+    || { echo "FAIL: daemon shape check did not pass"; exit 1; }
+
 echo "All checks passed."
