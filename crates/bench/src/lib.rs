@@ -101,6 +101,19 @@ pub fn store_health(label: &str, cluster: &Cluster) {
         s.get("store.repairs_chunks"),
         simcore::bytes::human(s.get("store.repairs_bytes")),
     );
+    // Integrity line, only for runs that had verification or scrubbing
+    // switched on (the counters are registered lazily so knobs-off bench
+    // output is unchanged).
+    if s.snapshot().values.contains_key("store.crc_mismatches") {
+        println!(
+            "  [health {label}] integrity: crc_mismatches={} scrub_passes={} scrub_repairs={} \
+             quarantined={}",
+            s.get("store.crc_mismatches"),
+            s.get("store.scrub_passes"),
+            s.get("store.scrub_repairs"),
+            cluster.store.manager().quarantined_count(),
+        );
+    }
 }
 
 /// Simple fixed-width table printer.
@@ -387,6 +400,25 @@ impl JsonReport {
             "store.repairs_bytes",
         ] {
             h.set(key, s.get(key));
+        }
+        // Integrity counters exist only when verification/scrubbing was
+        // on; keep knobs-off reports byte-identical by skipping them.
+        let snap = s.snapshot().values;
+        for key in [
+            "store.crc_mismatches",
+            "store.scrub_passes",
+            "store.scrub_repairs",
+            "store.quarantined",
+        ] {
+            if snap.contains_key(key) {
+                h.set(key, s.get(key));
+            }
+        }
+        if snap.contains_key("store.crc_mismatches") {
+            h.set(
+                "quarantined_benefactors",
+                cluster.store.manager().quarantined_count() as u64,
+            );
         }
         self.health = h;
         self

@@ -8,6 +8,7 @@
 
 use crate::ids::ChunkId;
 use devices::Ssd;
+use simcore::rng::child_seed;
 use simcore::{Grant, VTime};
 use std::collections::HashMap;
 
@@ -25,6 +26,18 @@ pub struct Benefactor {
     /// Materialized chunks currently stored.
     chunks: HashMap<ChunkId, Box<[u8]>>,
     alive: bool,
+    /// Excluded from placement by the scrub daemon (DESIGN.md §11):
+    /// existing copies stay readable and repairable-from, but no new
+    /// chunk lands here.
+    quarantined: bool,
+    /// One-shot torn-write arm: the next chunk write persists only the
+    /// first half of each dirty run (fault injection).
+    torn_armed: bool,
+    /// Persistent media degradation: probability (basis points) that a
+    /// chunk write flips a stored byte, with its seed-stable draw stream.
+    corrupt_rate_bp: u32,
+    corrupt_seed: u64,
+    corrupt_stream: u64,
     chunk_size: u64,
 }
 
@@ -37,6 +50,11 @@ impl Benefactor {
             reserved_slots: 0,
             chunks: HashMap::new(),
             alive: true,
+            quarantined: false,
+            torn_armed: false,
+            corrupt_rate_bp: 0,
+            corrupt_seed: 0,
+            corrupt_stream: 0,
             chunk_size,
         }
     }
@@ -52,6 +70,63 @@ impl Benefactor {
     /// Take the benefactor offline (simulated failure / decommission).
     pub fn set_alive(&mut self, alive: bool) {
         self.alive = alive;
+    }
+
+    /// Whether the scrub daemon has excluded this benefactor from placement.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    pub fn set_quarantined(&mut self, quarantined: bool) {
+        self.quarantined = quarantined;
+    }
+
+    /// Eligible to receive new chunks: online and not quarantined.
+    pub fn is_placeable(&self) -> bool {
+        self.alive && !self.quarantined
+    }
+
+    /// Arm a one-shot torn write: the next chunk write on this benefactor
+    /// persists only the first half of each dirty run.
+    pub fn arm_torn_write(&mut self) {
+        self.torn_armed = true;
+    }
+
+    /// Install a persistent per-write corruption rate (basis points). Each
+    /// subsequent chunk write draws from a seed-stable stream and, when the
+    /// draw lands under the rate, flips one stored byte.
+    pub fn set_corruption_rate(&mut self, rate_bp: u32, seed: u64) {
+        self.corrupt_rate_bp = rate_bp;
+        self.corrupt_seed = seed;
+        self.corrupt_stream = 0;
+    }
+
+    /// Flip one stored byte of `id` (XOR 0xFF at `offset` mod chunk size).
+    /// Returns false when the chunk is not present here. Data-only: no
+    /// virtual time is charged — silent corruption is free by definition.
+    pub fn corrupt_chunk(&mut self, id: ChunkId, offset: u64) -> bool {
+        match self.chunks.get_mut(&id) {
+            Some(data) => {
+                let at = (offset % self.chunk_size) as usize;
+                data[at] ^= 0xFF;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Apply the persistent corruption-rate draw after a chunk write.
+    fn degrade_after_write(&mut self, id: ChunkId) {
+        if self.corrupt_rate_bp == 0 {
+            return;
+        }
+        let draw = child_seed(self.corrupt_seed, self.corrupt_stream);
+        self.corrupt_stream += 1;
+        if draw % 10_000 < self.corrupt_rate_bp as u64 {
+            let off = child_seed(self.corrupt_seed, self.corrupt_stream);
+            self.corrupt_stream += 1;
+            self.corrupt_chunk(id, off % self.chunk_size);
+        }
     }
 
     pub fn capacity(&self) -> u64 {
@@ -97,7 +172,7 @@ impl Benefactor {
         &mut self,
         t: VTime,
         id: ChunkId,
-        data: Box<[u8]>,
+        mut data: Box<[u8]>,
         payload_bytes: u64,
         consumes_reservation: bool,
     ) -> Grant {
@@ -105,8 +180,16 @@ impl Benefactor {
         if consumes_reservation {
             self.release_slots(1);
         }
+        if self.torn_armed {
+            // Torn write on a fresh materialization: the tail of the chunk
+            // never reaches the media, leaving the pre-image (zeros).
+            self.torn_armed = false;
+            let half = data.len() / 2;
+            data[half..].fill(0);
+        }
         let prev = self.chunks.insert(id, data);
         assert!(prev.is_none(), "chunk {id} stored twice");
+        self.degrade_after_write(id);
         self.ssd.write_at(t, payload_bytes)
     }
 
@@ -117,13 +200,20 @@ impl Benefactor {
         id: ChunkId,
         updates: &[(u64, &[u8])],
     ) -> Grant {
+        let torn = self.torn_armed;
+        self.torn_armed = false;
         let chunk = self.chunks.get_mut(&id).expect("update of missing chunk");
         let mut bytes = 0u64;
         for (off, data) in updates {
             let off = *off as usize;
-            chunk[off..off + data.len()].copy_from_slice(data);
+            // Torn write: only the first half of each dirty run reaches the
+            // media; the tail keeps the old bytes. The SSD is still charged
+            // for the intended write — the failure is in durability, not time.
+            let persisted = if torn { data.len() / 2 } else { data.len() };
+            chunk[off..off + persisted].copy_from_slice(&data[..persisted]);
             bytes += data.len() as u64;
         }
+        self.degrade_after_write(id);
         self.ssd.write_at(t, bytes)
     }
 
@@ -269,5 +359,88 @@ mod tests {
         assert!(b.is_alive());
         b.set_alive(false);
         assert!(!b.is_alive());
+    }
+
+    #[test]
+    fn quarantine_blocks_placement_eligibility() {
+        let mut b = bene(2);
+        assert!(b.is_placeable());
+        b.set_quarantined(true);
+        assert!(b.is_quarantined());
+        assert!(!b.is_placeable(), "quarantined benefactor is not placeable");
+        assert!(b.is_alive(), "quarantine is not death");
+        b.set_quarantined(false);
+        assert!(b.is_placeable());
+    }
+
+    #[test]
+    fn corrupt_chunk_flips_one_byte() {
+        let mut b = bene(2);
+        b.reserve_slots(1);
+        b.store_chunk(VTime::ZERO, ChunkId(1), zero_chunk(), CHUNK, true);
+        assert!(b.corrupt_chunk(ChunkId(1), 4096));
+        let data = b.peek_chunk(ChunkId(1)).unwrap();
+        assert_eq!(data[4096], 0xFF);
+        assert_eq!(data[4095], 0);
+        assert_eq!(data[4097], 0);
+        assert!(!b.corrupt_chunk(ChunkId(99), 0), "missing chunk untouched");
+    }
+
+    #[test]
+    fn torn_store_drops_the_tail() {
+        let mut b = bene(2);
+        b.reserve_slots(1);
+        b.arm_torn_write();
+        let data = vec![7u8; CHUNK as usize].into_boxed_slice();
+        b.store_chunk(VTime::ZERO, ChunkId(1), data, CHUNK, true);
+        let stored = b.peek_chunk(ChunkId(1)).unwrap();
+        let half = CHUNK as usize / 2;
+        assert_eq!(stored[half - 1], 7, "head persisted");
+        assert_eq!(stored[half], 0, "tail torn back to the pre-image");
+        assert_eq!(stored[CHUNK as usize - 1], 0);
+        // One-shot: the next write is whole.
+        b.reserve_slots(1);
+        let data = vec![9u8; CHUNK as usize].into_boxed_slice();
+        b.store_chunk(VTime::ZERO, ChunkId(2), data, CHUNK, true);
+        assert_eq!(b.peek_chunk(ChunkId(2)).unwrap()[CHUNK as usize - 1], 9);
+    }
+
+    #[test]
+    fn torn_update_keeps_old_tail_but_charges_full_write() {
+        let mut b = bene(2);
+        b.reserve_slots(1);
+        b.store_chunk(VTime::ZERO, ChunkId(1), zero_chunk(), CHUNK, true);
+        b.arm_torn_write();
+        let before = b.ssd().bytes_written();
+        let run = vec![3u8; 8192];
+        b.update_chunk(VTime::ZERO, ChunkId(1), &[(0, &run)]);
+        assert_eq!(
+            b.ssd().bytes_written() - before,
+            8192,
+            "timing/wear charge is for the intended write"
+        );
+        let data = b.peek_chunk(ChunkId(1)).unwrap();
+        assert_eq!(data[4095], 3, "first half of the run landed");
+        assert_eq!(data[4096], 0, "second half kept the old bytes");
+    }
+
+    #[test]
+    fn corruption_rate_is_seed_stable() {
+        let run = |seed: u64| -> Vec<Vec<u8>> {
+            let mut b = bene(8);
+            b.set_corruption_rate(5_000, seed);
+            (0..6)
+                .map(|i| {
+                    b.reserve_slots(1);
+                    b.store_chunk(VTime::ZERO, ChunkId(i), zero_chunk(), CHUNK, true);
+                    b.peek_chunk(ChunkId(i)).unwrap().to_vec()
+                })
+                .collect()
+        };
+        let a = run(42);
+        assert_eq!(a, run(42), "same seed, same corruption");
+        let corrupted = a.iter().filter(|c| c.iter().any(|&x| x != 0)).count();
+        assert!(corrupted > 0, "a 50% rate corrupts some of six writes");
+        assert!(corrupted < 6, "…but not every write");
     }
 }

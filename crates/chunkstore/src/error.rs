@@ -1,10 +1,16 @@
 //! Store error types.
 
-use crate::ids::{BenefactorId, FileId};
+use crate::ids::{BenefactorId, ChunkId, FileId};
 use std::fmt;
 
 /// Errors surfaced by the aggregate store.
+///
+/// Marked `#[non_exhaustive]` so downstream matchers must keep a wildcard
+/// arm: the store grows failure modes (PR 1 added `BenefactorDown`, this
+/// PR adds `ChunkCorrupt`) and mount-level callers should degrade to a
+/// generic I/O error for variants they don't know, not fail to compile.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum StoreError {
     /// Lookup of an unknown file id or name.
     NoSuchFile,
@@ -25,6 +31,13 @@ pub enum StoreError {
     NoBenefactors,
     /// The caller asked for more benefactors than exist.
     NotEnoughBenefactors { requested: usize, alive: usize },
+    /// Every reachable copy of the chunk failed CRC verification — the
+    /// store refuses to return unverified bytes (DESIGN.md §11).
+    /// `benefactor` is the copy whose mismatch was detected last.
+    ChunkCorrupt {
+        chunk: ChunkId,
+        benefactor: BenefactorId,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -56,6 +69,10 @@ impl fmt::Display for StoreError {
             StoreError::NotEnoughBenefactors { requested, alive } => {
                 write!(f, "requested {requested} benefactors, only {alive} alive")
             }
+            StoreError::ChunkCorrupt { chunk, benefactor } => write!(
+                f,
+                "{chunk} failed CRC verification on every reachable copy (last bad: {benefactor})"
+            ),
         }
     }
 }
@@ -63,3 +80,32 @@ impl fmt::Display for StoreError {
 impl std::error::Error for StoreError {}
 
 pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_parties_involved() {
+        let e = StoreError::ChunkCorrupt {
+            chunk: ChunkId(7),
+            benefactor: BenefactorId(2),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("chunk#7"), "{msg}");
+        assert!(msg.contains("benefactor#2"), "{msg}");
+
+        let e = StoreError::BenefactorDown(BenefactorId(4));
+        assert!(e.to_string().contains("benefactor#4"));
+
+        let e = StoreError::OutOfBounds {
+            file: FileId(3),
+            offset: 10,
+            len: 5,
+            size: 12,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("file#3"), "{msg}");
+        assert!(msg.contains("[10, 15)"), "{msg}");
+    }
+}

@@ -15,9 +15,12 @@
 //! * [`store`] — the timed client-facing facade charging RPC, network and
 //!   SSD costs;
 //! * [`loc_cache`] — client-side chunk-location cache (epoch-invalidated)
-//!   feeding the batched, pipelined data path.
+//!   feeding the batched, pipelined data path;
+//! * [`crc`] — CRC-64/XZ chunk digests backing verified reads and the
+//!   scrub daemon (DESIGN.md §11).
 
 pub mod benefactor;
+pub mod crc;
 pub mod error;
 pub mod ids;
 pub mod loc_cache;
@@ -25,8 +28,9 @@ pub mod manager;
 pub mod store;
 
 pub use benefactor::Benefactor;
+pub use crc::crc64;
 pub use error::{Result, StoreError};
 pub use ids::{BenefactorId, ChunkId, FileId};
 pub use loc_cache::LocationCache;
 pub use manager::{ChunkMeta, FileMeta, Manager, PlacementPolicy, Slot, StripeSpec, StripeWidth};
-pub use store::{AggregateStore, BatchWrite, ChunkPayload, RepairReport, StoreConfig};
+pub use store::{AggregateStore, BatchWrite, ChunkPayload, RepairReport, ScrubConfig, StoreConfig};

@@ -151,6 +151,10 @@ pub struct ChunkMeta {
     pub homes: Vec<BenefactorId>,
     /// Replica degree the chunk should have (its file's `replicas`).
     pub target: usize,
+    /// CRC-64/XZ digest of the chunk's intended full content, recorded at
+    /// every write *before* the bytes hit any benefactor — so a torn or
+    /// bit-rotted copy disagrees with it (DESIGN.md §11).
+    pub crc: u64,
 }
 
 /// The manager's whole state, including the benefactor fleet.
@@ -232,6 +236,26 @@ impl Manager {
             .filter(|(_, b)| b.is_alive())
             .map(|(i, _)| BenefactorId(i))
             .collect()
+    }
+
+    /// Benefactors eligible for new chunk placement: alive and not
+    /// quarantined by the scrub daemon. Reads and repairs-from still use
+    /// the full alive set — quarantine only stops *new* bytes landing.
+    pub fn placeable_benefactors(&self) -> Vec<BenefactorId> {
+        self.benefactors
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.is_placeable())
+            .map(|(i, _)| BenefactorId(i))
+            .collect()
+    }
+
+    /// How many benefactors the scrub daemon has quarantined.
+    pub fn quarantined_count(&self) -> usize {
+        self.benefactors
+            .iter()
+            .filter(|b| b.is_quarantined())
+            .count()
     }
 
     /// Status-monitoring sweep: total/free space over alive benefactors.
@@ -362,7 +386,13 @@ impl Manager {
     /// * `Count(n)` with `n` zero or above the alive population →
     ///   [`StoreError::NotEnoughBenefactors`].
     fn resolve_stripe(&mut self, spec: StripeSpec) -> Result<Vec<BenefactorId>> {
-        let alive = self.alive_benefactors();
+        // All/Count pick from the placeable set so quarantined benefactors
+        // stop receiving new files; Explicit lists are honored as long as
+        // the named benefactors are alive (the caller pinned them).
+        let alive = match spec.width {
+            StripeWidth::Explicit(_) => self.alive_benefactors(),
+            _ => self.placeable_benefactors(),
+        };
         if alive.is_empty() {
             return Err(StoreError::NoBenefactors);
         }
@@ -459,14 +489,36 @@ impl Manager {
         self.chunk_meta.get(&c).map(|m| m.target)
     }
 
-    pub(crate) fn new_chunk_id(&mut self, homes: Vec<BenefactorId>, target: usize) -> ChunkId {
+    pub(crate) fn new_chunk_id(
+        &mut self,
+        homes: Vec<BenefactorId>,
+        target: usize,
+        crc: u64,
+    ) -> ChunkId {
         assert!(!homes.is_empty(), "chunk needs at least one home");
         let id = ChunkId(self.next_chunk);
         self.next_chunk += 1;
         self.chunk_refs.insert(id, 1);
-        self.chunk_meta.insert(id, ChunkMeta { homes, target });
+        self.chunk_meta.insert(id, ChunkMeta { homes, target, crc });
         self.bump_placement_epoch();
         id
+    }
+
+    /// The digest every authoritative copy of `c` must match.
+    pub fn chunk_crc(&self, c: ChunkId) -> Option<u64> {
+        self.chunk_meta.get(&c).map(|m| m.crc)
+    }
+
+    /// Re-record `c`'s digest after an in-place page update.
+    pub(crate) fn set_chunk_crc(&mut self, c: ChunkId, crc: u64) {
+        self.chunk_meta.get_mut(&c).expect("unknown chunk").crc = crc;
+    }
+
+    /// Every materialized chunk id, sorted — the scrub daemon's walk order.
+    pub fn chunk_ids_sorted(&self) -> Vec<ChunkId> {
+        let mut ids: Vec<ChunkId> = self.chunk_meta.keys().copied().collect();
+        ids.sort_unstable_by_key(|c| c.0);
+        ids
     }
 
     /// Drop `home` from `c`'s authoritative copy list (the copy there is
@@ -626,14 +678,10 @@ mod tests {
 
     fn materialize(m: &mut Manager, f: FileId, idx: usize) -> ChunkId {
         let home = m.file(f).unwrap().home_of_slot(idx);
-        let c = m.new_chunk_id(vec![home], 1);
-        m.benefactor_mut(home).store_chunk(
-            VTime::ZERO,
-            c,
-            vec![0u8; CHUNK as usize].into_boxed_slice(),
-            CHUNK,
-            true,
-        );
+        let data = vec![0u8; CHUNK as usize].into_boxed_slice();
+        let c = m.new_chunk_id(vec![home], 1, crate::crc::crc64(&data));
+        m.benefactor_mut(home)
+            .store_chunk(VTime::ZERO, c, data, CHUNK, true);
         m.set_slot(f, idx, Slot::Chunk(c));
         c
     }
@@ -861,6 +909,57 @@ mod tests {
         m.delete_file(ckpt).unwrap();
         assert_eq!(m.chunk_refcount(c0), 0);
         assert_eq!(m.physical_bytes(), 0);
+    }
+
+    #[test]
+    fn quarantined_benefactor_excluded_from_new_stripes() {
+        let mut m = mgr(3, 16);
+        m.benefactor_mut(BenefactorId(1)).set_quarantined(true);
+        assert_eq!(
+            m.placeable_benefactors(),
+            vec![BenefactorId(0), BenefactorId(2)]
+        );
+        assert_eq!(m.quarantined_count(), 1);
+
+        let f = m.create_file("/x").unwrap();
+        m.fallocate(f, 4 * CHUNK, StripeSpec::all(), PlacementPolicy::RoundRobin)
+            .unwrap();
+        let stripe = &m.file(f).unwrap().stripe;
+        assert!(
+            !stripe.contains(&BenefactorId(1)),
+            "All-stripe skips the quarantined benefactor"
+        );
+
+        // Explicit pins still work: quarantine is not death.
+        let y = m.create_file("/y").unwrap();
+        m.fallocate(
+            y,
+            CHUNK,
+            StripeSpec::explicit(vec![BenefactorId(1)]),
+            PlacementPolicy::RoundRobin,
+        )
+        .unwrap();
+
+        // Count cannot draw from the quarantined pool either.
+        let z = m.create_file("/z").unwrap();
+        let err = m
+            .fallocate(z, CHUNK, StripeSpec::count(3), PlacementPolicy::RoundRobin)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::NotEnoughBenefactors { .. }));
+    }
+
+    #[test]
+    fn chunk_crc_recorded_and_updatable() {
+        let mut m = mgr(2, 16);
+        let f = m.create_file("/x").unwrap();
+        m.fallocate(f, CHUNK, StripeSpec::all(), PlacementPolicy::RoundRobin)
+            .unwrap();
+        let c = materialize(&mut m, f, 0);
+        let zeros = vec![0u8; CHUNK as usize];
+        assert_eq!(m.chunk_crc(c), Some(crate::crc::crc64(&zeros)));
+        m.set_chunk_crc(c, 0xDEAD);
+        assert_eq!(m.chunk_crc(c), Some(0xDEAD));
+        assert_eq!(m.chunk_ids_sorted(), vec![c]);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! the aggregate store.
 
 use crate::benefactor::Benefactor;
+use crate::crc::crc64;
 use crate::error::{Result, StoreError};
 use crate::ids::{BenefactorId, ChunkId, FileId};
 use crate::loc_cache::{CachedLoc, LocationCache};
@@ -16,6 +17,7 @@ use faults::{FaultEvent, FaultPlan};
 use netsim::{LinkFault, Network};
 use obs::{Layer, TraceRecorder};
 use parking_lot::{Mutex, MutexGuard};
+use simcore::rng::child_seed;
 use simcore::{Counter, StatsRegistry, VTime};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -40,6 +42,11 @@ pub struct StoreConfig {
     pub fetch_retries: u32,
     /// Virtual-time backoff between failover retries.
     pub retry_backoff: VTime,
+    /// Verify every fetched chunk against its manager-recorded CRC64 and
+    /// fail over / repair on mismatch (DESIGN.md §11). Off by default:
+    /// with this unset, read timing and counters are bit-identical to a
+    /// build without the integrity subsystem.
+    pub verify_reads: bool,
 }
 
 impl Default for StoreConfig {
@@ -52,8 +59,59 @@ impl Default for StoreConfig {
             mgr_cpu: VTime::from_micros(10),
             fetch_retries: 2,
             retry_backoff: VTime::from_millis(5),
+            verify_reads: false,
         }
     }
+}
+
+/// Background scrub daemon configuration (DESIGN.md §11). The daemon only
+/// runs once [`AggregateStore::attach_scrub`] installs it; like PR 4's
+/// write-back flusher it is paced in virtual time off the foreground
+/// clock — a pass is kicked by the first fault poll at or after `next_at`
+/// and charges only benefactor-side SSD time plus repair traffic.
+#[derive(Clone, Copy, Debug)]
+pub struct ScrubConfig {
+    /// Virtual time between scrub passes.
+    pub interval: VTime,
+    /// Chunk ids verified per pass; the walk cursor persists across
+    /// passes and wraps, so every chunk is eventually visited.
+    pub chunks_per_pass: usize,
+    /// Quarantine a benefactor once its observed corruption rate
+    /// (bad copies / copies scrubbed there) exceeds this fraction…
+    pub quarantine_rate: f64,
+    /// …with at least this many copies scrubbed as evidence.
+    pub quarantine_min_samples: u64,
+}
+
+impl Default for ScrubConfig {
+    fn default() -> Self {
+        ScrubConfig {
+            interval: VTime::from_millis(50),
+            // ~8 SSD chunk reads per pass (~10 ms): a low duty cycle, so
+            // scrubbing steals little bandwidth from foreground I/O.
+            chunks_per_pass: 8,
+            quarantine_rate: 0.5,
+            quarantine_min_samples: 8,
+        }
+    }
+}
+
+/// Scrub daemon runtime state (see [`ScrubConfig`]).
+#[derive(Debug)]
+struct ScrubState {
+    cfg: ScrubConfig,
+    /// Earliest virtual time the next pass may start.
+    next_at: VTime,
+    /// When the in-flight pass finishes; a poll before this is a no-op so
+    /// passes never overlap.
+    busy_until: VTime,
+    /// Chunk-id walk cursor: the next pass resumes at the first chunk id
+    /// ≥ this value (wrapping).
+    cursor: u64,
+    /// Per-benefactor copies verified, for the quarantine rate.
+    scrubbed: Vec<u64>,
+    /// Per-benefactor CRC mismatches found.
+    bad: Vec<u64>,
 }
 
 /// One chunk's worth of dirty-page runs in a batched write-back (see
@@ -75,6 +133,16 @@ pub enum ChunkPayload {
     Zeros,
     /// Chunk bytes shipped from its benefactor.
     Data(Box<[u8]>),
+}
+
+/// What `fetch_verified` hands back: the verified bytes plus the copy
+/// they came from, for span labelling and degraded accounting.
+struct FetchOutcome {
+    end: VTime,
+    data: Box<[u8]>,
+    home: BenefactorId,
+    node: usize,
+    degraded: bool,
 }
 
 /// Outcome of one repair sweep (see `repair_under_replicated`).
@@ -109,12 +177,17 @@ pub struct AggregateStore {
     benefactor_recoveries: Counter,
     batched_fetches: Counter,
     batched_writes: Counter,
+    /// Integrity counters (`store.crc_mismatches` etc.) are registered
+    /// through here only once verification or scrubbing is switched on,
+    /// so knobs-off stat snapshots stay byte-identical.
+    stats: StatsRegistry,
+    scrub: Arc<Mutex<Option<ScrubState>>>,
     trace: TraceRecorder,
 }
 
 impl AggregateStore {
     pub fn new(cfg: StoreConfig, net: Network, stats: &StatsRegistry) -> Self {
-        AggregateStore {
+        let store = AggregateStore {
             mgr: Arc::new(Mutex::new(Manager::new(cfg.chunk_size))),
             net,
             cfg,
@@ -133,8 +206,25 @@ impl AggregateStore {
             benefactor_recoveries: stats.counter("store.benefactor_recoveries"),
             batched_fetches: stats.counter("store.batched_fetches"),
             batched_writes: stats.counter("store.batched_writes"),
+            stats: stats.clone(),
+            scrub: Arc::new(Mutex::new(None)),
             trace: TraceRecorder::disabled(),
+        };
+        if store.cfg.verify_reads {
+            store.register_integrity_counters();
         }
+        store
+    }
+
+    /// Register the integrity counter set. Deferred until verification or
+    /// scrubbing actually activates: registered counters appear in every
+    /// stats snapshot (even at zero), and committed knobs-off bench
+    /// expectations must not grow keys.
+    fn register_integrity_counters(&self) {
+        self.stats.counter("store.crc_mismatches");
+        self.stats.counter("store.scrub_passes");
+        self.stats.counter("store.scrub_repairs");
+        self.stats.counter("store.quarantined");
     }
 
     /// Attach a trace recorder (builder style; clones share it). Manager
@@ -172,17 +262,20 @@ impl AggregateStore {
         *self.faults.lock() = Some(plan);
     }
 
-    /// Apply every scheduled fault due at or before `t`.
+    /// Apply every scheduled fault due at or before `t`, then give the
+    /// scrub daemon (when attached) a chance to run a due pass — faults
+    /// first, so a pass at `t` sees the world as of `t`.
     pub fn poll_faults(&self, t: VTime) {
         let due = match self.faults.lock().as_mut() {
             Some(plan) => plan.due(t),
-            None => return,
+            None => Vec::new(),
         };
         for fault in due {
             self.trace
                 .instant(Layer::Fault, fault.event.describe(), fault.at);
             self.apply_fault(fault.event);
         }
+        self.poll_scrub(t);
     }
 
     fn apply_fault(&self, event: FaultEvent) {
@@ -230,6 +323,45 @@ impl AggregateStore {
             }
             FaultEvent::SsdSlowdown { node, factor } => self.set_node_ssd_slowdown(node, factor),
             FaultEvent::SsdRestore { node } => self.set_node_ssd_slowdown(node, 1.0),
+            FaultEvent::BitRot {
+                benefactor,
+                rate_bp,
+                seed,
+            } => self.apply_bit_rot(BenefactorId(benefactor), rate_bp, seed),
+            FaultEvent::TornWrite { benefactor } => {
+                self.mgr
+                    .lock()
+                    .benefactor_mut(BenefactorId(benefactor))
+                    .arm_torn_write();
+            }
+            FaultEvent::CorruptionRate {
+                benefactor,
+                rate_bp,
+                seed,
+            } => {
+                self.mgr
+                    .lock()
+                    .benefactor_mut(BenefactorId(benefactor))
+                    .set_corruption_rate(rate_bp, seed);
+            }
+        }
+    }
+
+    /// Silent bit-rot: each chunk stored on `b` is corrupted with
+    /// probability `rate_bp` basis points, scaled up by the SSD's consumed
+    /// life — a worn device rots faster (PAPER.md Table I wear counters).
+    /// Seed-stable per chunk id, so identical runs rot identical bytes.
+    /// Data-only: no virtual time is charged.
+    fn apply_bit_rot(&self, b: BenefactorId, rate_bp: u32, seed: u64) {
+        let mut mgr = self.mgr.lock();
+        let life = mgr.benefactor(b).ssd().wear().life_consumed;
+        let effective_bp = (rate_bp as f64 * (1.0 + life)) as u64;
+        for c in mgr.benefactor(b).chunk_ids() {
+            let draw = child_seed(seed, c.0);
+            if draw % 10_000 < effective_bp {
+                let off = child_seed(draw, 1);
+                mgr.benefactor_mut(b).corrupt_chunk(c, off);
+            }
         }
     }
 
@@ -241,6 +373,181 @@ impl AggregateStore {
                 b.ssd().set_slowdown(factor);
             }
         }
+    }
+
+    // ----- scrub daemon -----------------------------------------------------
+
+    /// Install the background scrub daemon; the first pass may start at
+    /// `start_at`. Like fault plans, the daemon is driven by the fault
+    /// polls at the top of every timed store operation.
+    pub fn attach_scrub(&self, cfg: ScrubConfig, start_at: VTime) {
+        assert!(cfg.chunks_per_pass > 0, "scrub pass must cover chunks");
+        self.register_integrity_counters();
+        let n = self.mgr.lock().benefactor_count();
+        *self.scrub.lock() = Some(ScrubState {
+            cfg,
+            next_at: start_at,
+            busy_until: VTime::ZERO,
+            cursor: 0,
+            scrubbed: vec![0; n],
+            bad: vec![0; n],
+        });
+    }
+
+    /// Run one scrub pass if the daemon is attached and due. The pass is
+    /// kicked at the poll time `t` (the flusher pattern from PR 4): it
+    /// charges benefactor SSD reads and repair traffic in virtual time,
+    /// but never the foreground clock — `poll_faults` returns `()` and the
+    /// caller's `t` is unchanged.
+    fn poll_scrub(&self, t: VTime) {
+        let mut guard = self.scrub.lock();
+        let Some(st) = guard.as_mut() else { return };
+        if t < st.next_at || t < st.busy_until {
+            return;
+        }
+        let sp = self.trace.span(Layer::Store, "store.scrub", t);
+        let mut now = t;
+        let mut verified = 0u64;
+        let mut repaired = 0u64;
+        let mut mgr = self.mgr.lock();
+        let ids = mgr.chunk_ids_sorted();
+        if !ids.is_empty() {
+            let start = ids.partition_point(|c| c.0 < st.cursor);
+            let n = st.cfg.chunks_per_pass.min(ids.len());
+            for k in 0..n {
+                let c = ids[(start + k) % ids.len()];
+                now = self.scrub_chunk(&mut mgr, st, c, now, &mut verified, &mut repaired);
+            }
+            let last = ids[(start + n - 1) % ids.len()];
+            st.cursor = last.0 + 1;
+        }
+        // Quarantine benefactors whose observed corruption rate crossed
+        // the threshold: placement stops choosing them (alive, but no new
+        // bytes land there).
+        for i in 0..mgr.benefactor_count() {
+            let b = BenefactorId(i);
+            if mgr.benefactor(b).is_quarantined() || st.scrubbed[i] < st.cfg.quarantine_min_samples
+            {
+                continue;
+            }
+            if st.bad[i] as f64 > st.cfg.quarantine_rate * st.scrubbed[i] as f64 {
+                mgr.benefactor_mut(b).set_quarantined(true);
+                mgr.bump_placement_epoch();
+                self.stats.counter("store.quarantined").inc();
+                self.trace
+                    .instant(Layer::Store, format!("store.quarantine b={i}"), now);
+            }
+        }
+        drop(mgr);
+        self.stats.counter("store.scrub_passes").inc();
+        st.busy_until = now;
+        // Idle a full interval after the pass *finishes* — scheduling from
+        // the kick time would let passes longer than the interval run
+        // back-to-back and saturate the SSDs the foreground needs.
+        st.next_at = now + st.cfg.interval;
+        sp.arg("verified", verified).arg("repaired", repaired);
+        sp.finish(now);
+    }
+
+    /// Scrub one chunk: verify every live copy benefactor-side (local SSD
+    /// read, no network), quarantine mismatching copies, then restore the
+    /// replica degree from a surviving copy. Returns the advanced pass
+    /// clock.
+    fn scrub_chunk(
+        &self,
+        mgr: &mut Manager,
+        st: &mut ScrubState,
+        c: ChunkId,
+        mut now: VTime,
+        verified: &mut u64,
+        repaired: &mut u64,
+    ) -> VTime {
+        let Some(expected) = mgr.chunk_crc(c) else {
+            return now; // deleted since the id list was taken
+        };
+        let homes: Vec<BenefactorId> = mgr.chunk_homes(c).expect("chunk without home").to_vec();
+        for h in homes {
+            if !mgr.benefactor(h).is_alive() {
+                continue;
+            }
+            let (g, data) = mgr.benefactor(h).read_chunk(now, c);
+            now = g.end;
+            st.scrubbed[h.0] += 1;
+            *verified += 1;
+            if crc64(&data) != expected {
+                st.bad[h.0] += 1;
+                self.stats.counter("store.crc_mismatches").inc();
+                self.trace.instant(
+                    Layer::Store,
+                    format!("store.scrub_mismatch c={} b={}", c.0, h.0),
+                    now,
+                );
+                // Drop the rotten copy while a replica remains; a sole
+                // bad copy must stay listed (reads report ChunkCorrupt,
+                // never serve it silently).
+                if mgr.chunk_homes(c).expect("chunk listed").len() > 1 {
+                    mgr.remove_chunk_home(c, h);
+                    mgr.benefactor_mut(h).drop_chunk(c);
+                }
+            }
+        }
+        // Re-replicate from a surviving copy up to the target degree.
+        loop {
+            let target = mgr.chunk_target(c).expect("chunk has a target");
+            let homes: Vec<BenefactorId> = mgr.chunk_homes(c).expect("chunk listed").to_vec();
+            let live: Vec<BenefactorId> = homes
+                .iter()
+                .copied()
+                .filter(|&h| mgr.benefactor(h).is_alive())
+                .collect();
+            if live.is_empty() || live.len() >= target {
+                break;
+            }
+            let donor = live[0];
+            let dest = (0..mgr.benefactor_count()).map(BenefactorId).find(|&b| {
+                !homes.contains(&b)
+                    && mgr.benefactor(b).is_placeable()
+                    && mgr.benefactor(b).can_allocate_chunk(false)
+            });
+            let Some(dest) = dest else { break };
+            let donor_node = mgr.benefactor(donor).node;
+            let dest_node = mgr.benefactor(dest).node;
+            let (g, data) = mgr.benefactor(donor).read_chunk(now, c);
+            let xfer = self
+                .net
+                .transfer_at(g.end, donor_node, dest_node, self.cfg.chunk_size);
+            let g2 = mgr.benefactor_mut(dest).store_chunk(
+                xfer.arrived,
+                c,
+                data,
+                self.cfg.chunk_size,
+                false,
+            );
+            mgr.add_chunk_home(c, dest);
+            now = g2.end;
+            *repaired += 1;
+            self.stats.counter("store.scrub_repairs").inc();
+        }
+        now
+    }
+
+    /// Untimed admin sweep: how many stored chunk copies currently
+    /// disagree with their recorded CRC (bench/test instrumentation —
+    /// time-to-repair is "first poll at which this reaches zero").
+    pub fn count_corrupt_copies(&self) -> usize {
+        let mgr = self.mgr.lock();
+        let mut n = 0;
+        for c in mgr.chunk_ids_sorted() {
+            let expected = mgr.chunk_crc(c).expect("chunk without crc");
+            for &h in mgr.chunk_homes(c).expect("chunk listed") {
+                if let Some(data) = mgr.benefactor(h).peek_chunk(c) {
+                    if crc64(data) != expected {
+                        n += 1;
+                    }
+                }
+            }
+        }
+        n
     }
 
     /// Charge one metadata round-trip to the manager.
@@ -344,7 +651,7 @@ impl AggregateStore {
         self.poll_faults(t);
         let sp = self.trace.span(Layer::Store, "store.chunk_fetch", t);
         sp.arg("file", file.0).arg("idx", idx as u64);
-        let mut t = self.mgr_rpc(t, client_node);
+        let t = self.mgr_rpc(t, client_node);
         self.chunk_fetches.inc();
         let chunk = {
             let mgr = self.mgr.lock();
@@ -374,16 +681,53 @@ impl AggregateStore {
             Some(c) => c,
         };
 
+        let out = self.fetch_verified(t, client_node, c, false)?;
+        sp.arg("benefactor", out.home.0 as u64)
+            .arg("node", out.node as u64);
+        if out.degraded {
+            sp.arg("degraded", 1);
+        }
+        sp.finish(out.end);
+        Ok((out.end, ChunkPayload::Data(out.data)))
+    }
+
+    /// The replica-scan / failover / backoff retry loop shared by the
+    /// serial and batched fetch paths. `t` is when the caller is ready to
+    /// issue the first benefactor request (post-resolution).
+    ///
+    /// Every attempt rescans the replica list: writes may have re-homed
+    /// the chunk and recoveries may have revived a copy. With
+    /// `verify_reads` set, arrived bytes are checked against the
+    /// manager's CRC64; a mismatching copy is counted, quarantined (its
+    /// bytes reclaimed while a replica remains — re-replication restores
+    /// the degree) and the scan continues from the moment the bad bytes
+    /// arrived. When no serviceable copy is left the read backs off
+    /// `retry_backoff`, re-polls the fault plan and retries up to
+    /// `fetch_retries` times; the final error is
+    /// [`StoreError::ChunkCorrupt`] if any copy failed verification,
+    /// [`StoreError::BenefactorDown`] otherwise. With verification off,
+    /// timing and counters are identical to the pre-integrity retry loop.
+    ///
+    /// `degraded` marks a read the caller already knows is degraded (the
+    /// batched path's non-primary picks) so `store.failovers` /
+    /// `store.degraded_reads` count it even at rank 0.
+    fn fetch_verified(
+        &self,
+        mut t: VTime,
+        client_node: usize,
+        c: ChunkId,
+        degraded: bool,
+    ) -> Result<FetchOutcome> {
         let mut attempts = 0;
+        let mut known_bad: Vec<BenefactorId> = Vec::new();
         loop {
-            // Rescan the replica list every attempt: writes may have
-            // re-homed the chunk and recoveries may have revived a copy.
             let pick = {
                 let mgr = self.mgr.lock();
                 let homes = mgr.chunk_homes(c).expect("chunk without home");
                 let primary = homes[0];
                 let serviceable = homes.iter().enumerate().find(|(_, &h)| {
-                    mgr.benefactor(h).is_alive()
+                    !known_bad.contains(&h)
+                        && mgr.benefactor(h).is_alive()
                         && self.net.reachable(mgr.benefactor(h).node, client_node)
                 });
                 match serviceable {
@@ -393,10 +737,6 @@ impl AggregateStore {
             };
             match pick {
                 Ok((rank, home, home_node)) => {
-                    if rank > 0 || attempts > 0 {
-                        self.failovers.inc();
-                        self.degraded_reads.inc();
-                    }
                     // Request message to the benefactor…
                     let req = self
                         .net
@@ -414,23 +754,64 @@ impl AggregateStore {
                         self.cfg.chunk_size,
                     );
                     self.bytes_to_clients.add(self.cfg.chunk_size);
-                    sp.arg("benefactor", home.0 as u64)
-                        .arg("node", home_node as u64);
-                    if rank > 0 || attempts > 0 {
-                        sp.arg("degraded", 1);
+                    if self.cfg.verify_reads {
+                        let expected = self.mgr.lock().chunk_crc(c).expect("chunk without crc");
+                        if crc64(&data) != expected {
+                            self.stats.counter("store.crc_mismatches").inc();
+                            self.trace.instant(
+                                Layer::Store,
+                                format!("store.crc_mismatch c={} b={}", c.0, home.0),
+                                resp.arrived,
+                            );
+                            self.quarantine_copy(c, home);
+                            known_bad.push(home);
+                            t = resp.arrived;
+                            continue;
+                        }
                     }
-                    sp.finish(resp.arrived);
-                    return Ok((resp.arrived, ChunkPayload::Data(data)));
+                    let was_degraded =
+                        degraded || rank > 0 || attempts > 0 || !known_bad.is_empty();
+                    if was_degraded {
+                        self.failovers.inc();
+                        self.degraded_reads.inc();
+                    }
+                    return Ok(FetchOutcome {
+                        end: resp.arrived,
+                        data,
+                        home,
+                        node: home_node,
+                        degraded: was_degraded,
+                    });
                 }
                 Err(primary) => {
                     if attempts >= self.cfg.fetch_retries {
-                        return Err(StoreError::BenefactorDown(primary));
+                        return Err(match known_bad.last() {
+                            Some(&b) => StoreError::ChunkCorrupt {
+                                chunk: c,
+                                benefactor: b,
+                            },
+                            None => StoreError::BenefactorDown(primary),
+                        });
                     }
                     attempts += 1;
                     t += self.cfg.retry_backoff;
                     self.poll_faults(t);
                 }
             }
+        }
+    }
+
+    /// Drop a CRC-mismatching copy: while a replica remains, the bad copy
+    /// leaves the home list and its bytes are reclaimed (the chunk shows
+    /// up under-replicated, so repair and scrub re-replicate the good
+    /// copy). A sole copy stays listed — the metadata invariant keeps at
+    /// least one home — but callers track it as known-bad and report
+    /// [`StoreError::ChunkCorrupt`] rather than serve it.
+    fn quarantine_copy(&self, c: ChunkId, home: BenefactorId) {
+        let mut mgr = self.mgr.lock();
+        if mgr.chunk_homes(c).expect("chunk listed").len() > 1 {
+            mgr.remove_chunk_home(c, home);
+            mgr.benefactor_mut(home).drop_chunk(c);
         }
     }
 
@@ -448,10 +829,12 @@ impl AggregateStore {
     /// `Resource` registers. Per-chunk completion is its own response
     /// arrival, returned in input order.
     ///
-    /// Fault semantics match the serial path per entry: a degraded pick
-    /// counts a failover, and a target with *no* serviceable copy at
-    /// batch time falls back to the serial [`Self::fetch_chunk`] retry
-    /// loop independently of its batch-mates.
+    /// Fault semantics match the serial path per entry: every entry runs
+    /// the same failover/verify/backoff retry loop (`fetch_verified`) the
+    /// serial path uses. A degraded pick counts a failover; a target with
+    /// *no* serviceable copy at batch time runs the loop unchained from
+    /// the shared resolution time, independently of its batch-mates, and
+    /// completes at exactly the time the serial fetch would.
     pub fn fetch_chunks(
         &self,
         t: VTime,
@@ -520,17 +903,18 @@ impl AggregateStore {
             }
         }
 
-        // Plan each target: zeros, a benefactor chain, or the serial
-        // fallback when no listed copy is serviceable right now.
+        // Plan each target: zeros, a benefactor chain, or the unchained
+        // retry loop when no listed copy is serviceable right now.
         enum Plan {
             Zeros,
             Chain {
                 home: BenefactorId,
-                node: usize,
                 chunk: ChunkId,
                 degraded: bool,
             },
-            Fallback,
+            Fallback {
+                chunk: ChunkId,
+            },
         }
         let plan: Vec<Plan> = {
             let mgr = self.mgr.lock();
@@ -543,13 +927,12 @@ impl AggregateStore {
                             mgr.benefactor(h).is_alive() && self.net.reachable(node, client_node)
                         });
                         match pick {
-                            Some((rank, &(home, node))) => Plan::Chain {
+                            Some((rank, &(home, _))) => Plan::Chain {
                                 home,
-                                node,
                                 chunk: *chunk,
                                 degraded: rank > 0,
                             },
-                            None => Plan::Fallback,
+                            None => Plan::Fallback { chunk: *chunk },
                         }
                     }
                 })
@@ -577,42 +960,33 @@ impl AggregateStore {
             let (at, order) = groups.get_mut(&home).expect("group exists");
             let i = order.remove(0);
             let Plan::Chain {
-                node,
-                chunk,
-                degraded,
-                ..
+                chunk, degraded, ..
             } = plan[i]
             else {
                 unreachable!("grouped entries are chains")
             };
             self.chunk_fetches.inc();
-            if degraded {
-                self.failovers.inc();
-                self.degraded_reads.inc();
-            }
             let csp = self.trace.span(Layer::Store, "store.chunk_fetch", *at);
-            csp.arg("benefactor", home.0 as u64)
-                .arg("node", node as u64);
-            if degraded {
+            // The shared retry loop re-picks from the live home list (the
+            // same scan that planned this chain) and, under
+            // `verify_reads`, fails the entry over to a replica when the
+            // arrived bytes don't match the recorded CRC.
+            let res = self.fetch_verified(*at, client_node, chunk, degraded)?;
+            csp.arg("benefactor", res.home.0 as u64)
+                .arg("node", res.node as u64);
+            if res.degraded {
                 csp.arg("degraded", 1);
             }
-            let req = self
-                .net
-                .transfer_at(*at, client_node, node, self.cfg.rpc_bytes);
-            let (grant, data) = {
-                let mgr = self.mgr.lock();
-                mgr.benefactor(home).read_chunk(req.arrived, chunk)
-            };
-            let resp = self
-                .net
-                .transfer_at(grant.end, node, client_node, self.cfg.chunk_size);
-            self.bytes_to_clients.add(self.cfg.chunk_size);
-            csp.finish(resp.arrived);
-            *at = resp.arrived;
-            out[i] = Some((resp.arrived, ChunkPayload::Data(data)));
+            csp.finish(res.end);
+            *at = res.end;
+            out[i] = Some((res.end, ChunkPayload::Data(res.data)));
         }
 
-        // Zeros and fallbacks fill in the gaps.
+        // Zeros and degraded fallbacks fill in the gaps. A fallback runs
+        // the same retry loop the serial path would, from the shared
+        // resolution time t0 — no second manager RPC — so a degraded
+        // batched fetch completes at exactly the serial fetch's time and
+        // counts under the same `degraded_reads` counter.
         for (i, p) in plan.iter().enumerate() {
             match p {
                 Plan::Zeros => {
@@ -620,9 +994,17 @@ impl AggregateStore {
                     self.zero_fills.inc();
                     out[i] = Some((t0, ChunkPayload::Zeros));
                 }
-                Plan::Fallback => {
-                    let (file, idx) = targets[i];
-                    out[i] = Some(self.fetch_chunk(t0, client_node, file, idx)?);
+                Plan::Fallback { chunk } => {
+                    self.chunk_fetches.inc();
+                    let csp = self.trace.span(Layer::Store, "store.chunk_fetch", t0);
+                    let res = self.fetch_verified(t0, client_node, *chunk, false)?;
+                    csp.arg("benefactor", res.home.0 as u64)
+                        .arg("node", res.node as u64);
+                    if res.degraded {
+                        csp.arg("degraded", 1);
+                    }
+                    csp.finish(res.end);
+                    out[i] = Some((res.end, ChunkPayload::Data(res.data)));
                 }
                 Plan::Chain { .. } => {}
             }
@@ -768,7 +1150,7 @@ impl AggregateStore {
                 .into_iter()
                 .find(|&h| mgr.benefactor(h).is_alive()),
             Slot::Hole => mgr
-                .alive_benefactors()
+                .placeable_benefactors()
                 .into_iter()
                 .find(|&b| mgr.benefactor(b).can_allocate_chunk(false)),
             Slot::Chunk(c) => mgr
@@ -835,9 +1217,10 @@ impl AggregateStore {
                 // Holes (zero regions inside linked checkpoint files)
                 // carry no reservation and may sit in a file with no
                 // stripe of its own; writing one allocates fresh space
-                // wherever it fits — up to `replicas` distinct hosts.
+                // wherever it fits — up to `replicas` distinct placeable
+                // (non-quarantined) hosts.
                 let mut picked = Vec::new();
-                for b in mgr.alive_benefactors() {
+                for b in mgr.placeable_benefactors() {
                     if picked.len() == replicas {
                         break;
                     }
@@ -894,6 +1277,31 @@ impl AggregateStore {
             data
         };
 
+        // Digest of the *intended* post-write content of chunk `c`,
+        // recorded in metadata before any benefactor write lands — a torn
+        // write or silent corruption on the media then disagrees with it.
+        // With verification on, the base bytes are taken from a copy that
+        // still matches the recorded CRC, so existing rot on one replica
+        // is not laundered into the new digest.
+        let updated_crc = |mgr: &Manager, c: ChunkId, homes: &[BenefactorId]| -> u64 {
+            let verified_base = if self.cfg.verify_reads {
+                let want = mgr.chunk_crc(c).expect("chunk without crc");
+                homes
+                    .iter()
+                    .find_map(|&h| mgr.benefactor(h).peek_chunk(c).filter(|b| crc64(b) == want))
+            } else {
+                None
+            };
+            let base = verified_base
+                .or_else(|| homes.iter().find_map(|&h| mgr.benefactor(h).peek_chunk(c)))
+                .expect("live copy present");
+            let mut scratch: Box<[u8]> = base.into();
+            for (off, d) in updates {
+                scratch[*off as usize..*off as usize + d.len()].copy_from_slice(d);
+            }
+            crc64(&scratch)
+        };
+
         let mut end = VTime::ZERO;
         match slot {
             Slot::Unmaterialized | Slot::Hole => {
@@ -902,7 +1310,8 @@ impl AggregateStore {
                 // hole writes allocate unreserved space (checked above).
                 let consumes_reservation = matches!(slot, Slot::Unmaterialized);
                 let data = compose(updates);
-                let c = mgr.new_chunk_id(live_homes.clone(), target);
+                let crc = crc64(&data);
+                let c = mgr.new_chunk_id(live_homes.clone(), target, crc);
                 for &home in &live_homes {
                     let home_node = mgr.benefactor(home).node;
                     let xfer = self.net.transfer_at(t, client_node, home_node, dirty_bytes);
@@ -919,11 +1328,12 @@ impl AggregateStore {
                 mgr.set_slot(file, idx, Slot::Chunk(c));
             }
             Slot::Chunk(c) => {
+                let new_crc = updated_crc(&mgr, c, &live_homes);
                 if mgr.chunk_refcount(c) > 1 {
                     // COW: clone on each live copy's benefactor, then
                     // land the updates on the clones.
                     self.cow_clones.inc();
-                    let c_new = mgr.new_chunk_id(live_homes.clone(), target);
+                    let c_new = mgr.new_chunk_id(live_homes.clone(), target, new_crc);
                     for &home in &live_homes {
                         let home_node = mgr.benefactor(home).node;
                         let xfer = self.net.transfer_at(t, client_node, home_node, dirty_bytes);
@@ -935,6 +1345,7 @@ impl AggregateStore {
                     mgr.set_slot(file, idx, Slot::Chunk(c_new));
                     mgr.decref_chunk(c);
                 } else {
+                    mgr.set_chunk_crc(c, new_crc);
                     for &home in &live_homes {
                         let home_node = mgr.benefactor(home).node;
                         let xfer = self.net.transfer_at(t, client_node, home_node, dirty_bytes);
@@ -1060,7 +1471,7 @@ impl AggregateStore {
         let mut t = t;
         let mut report = RepairReport::default();
         let work = self.mgr.lock().under_replicated();
-        for (c, donor, missing) in work {
+        for (c, _, missing) in work {
             for _ in 0..missing {
                 let mut mgr = self.mgr.lock();
                 // Re-read the home list: earlier copies in this sweep (or
@@ -1069,13 +1480,49 @@ impl AggregateStore {
                     Some(h) => h.to_vec(),
                     None => break, // chunk deleted mid-sweep
                 };
-                if !mgr.benefactor(donor).is_alive() {
+                // Donor: the first live copy — under `verify_reads`, the
+                // first live copy whose bytes still match the recorded
+                // digest, so a rotten donor never propagates its
+                // corruption into a fresh replica. Mismatching candidates
+                // are counted and quarantined like a failed read.
+                let donor = {
+                    let live: Vec<BenefactorId> = homes
+                        .iter()
+                        .copied()
+                        .filter(|&h| mgr.benefactor(h).is_alive())
+                        .collect();
+                    if self.cfg.verify_reads {
+                        let want = mgr.chunk_crc(c).expect("chunk without crc");
+                        let mut pick = None;
+                        for h in live {
+                            let ok = mgr
+                                .benefactor(h)
+                                .peek_chunk(c)
+                                .is_some_and(|b| crc64(b) == want);
+                            if ok {
+                                pick = Some(h);
+                                break;
+                            }
+                            self.stats.counter("store.crc_mismatches").inc();
+                            if mgr.chunk_homes(c).expect("chunk listed").len() > 1 {
+                                mgr.remove_chunk_home(c, h);
+                                mgr.benefactor_mut(h).drop_chunk(c);
+                            }
+                        }
+                        pick
+                    } else {
+                        live.first().copied()
+                    }
+                };
+                let Some(donor) = donor else {
                     report.chunks_unrepairable += 1;
                     break;
-                }
+                };
+                // Re-read again: donor vetting may have dropped copies.
+                let homes: Vec<BenefactorId> = mgr.chunk_homes(c).expect("chunk listed").to_vec();
                 let dest = (0..mgr.benefactor_count()).map(BenefactorId).find(|b| {
                     !homes.contains(b)
-                        && mgr.benefactor(*b).is_alive()
+                        && mgr.benefactor(*b).is_placeable()
                         && mgr.benefactor(*b).can_allocate_chunk(false)
                 });
                 let dest = match dest {
@@ -1533,6 +1980,243 @@ mod tests {
         assert!(matches!(payload, ChunkPayload::Data(_)));
         assert_eq!(stats.get("store.benefactor_recoveries"), 1);
         assert!(stats.get("store.degraded_reads") > 0);
+    }
+
+    /// Like `store_n` but with read verification switched on.
+    fn store_verify(n: usize) -> (AggregateStore, StatsRegistry) {
+        let stats = StatsRegistry::new();
+        let net = Network::new(n + 2, NetConfig::default(), &stats);
+        let cfg = StoreConfig {
+            verify_reads: true,
+            ..StoreConfig::default()
+        };
+        let store = AggregateStore::new(cfg, net, &stats);
+        for i in 0..n {
+            let ssd = Ssd::new(&format!("b{i}.ssd"), INTEL_X25E, &stats);
+            store.add_benefactor(Benefactor::new(i + 1, ssd, mib(64), CHUNK));
+        }
+        (store, stats)
+    }
+
+    fn chunk_of(store: &AggregateStore, f: FileId, idx: usize) -> ChunkId {
+        match store.manager().file(f).unwrap().slots[idx] {
+            Slot::Chunk(c) => c,
+            _ => panic!("slot {idx} not materialized"),
+        }
+    }
+
+    #[test]
+    fn verified_read_fails_over_on_corrupt_replica_and_repairs() {
+        let (store, stats) = store_verify(3);
+        let client = 4;
+        let f = make_file_replicated(&store, client, "/m", CHUNK, 2);
+        let page = vec![7u8; 4096];
+        let t = store
+            .write_pages(VTime::ZERO, client, f, 0, &[(0, &page)])
+            .unwrap();
+        let c = chunk_of(&store, f, 0);
+        let primary = store.manager().chunk_homes(c).unwrap()[0];
+        store.manager().benefactor_mut(primary).corrupt_chunk(c, 5);
+        assert_eq!(store.count_corrupt_copies(), 1);
+
+        // The read detects the rot, fails over to the replica and returns
+        // the right bytes — never the corrupt ones.
+        let (t2, payload) = store.fetch_chunk(t, client, f, 0).unwrap();
+        match payload {
+            ChunkPayload::Data(data) => {
+                assert_eq!(data[0], 7);
+                assert_eq!(data[5], 7, "served bytes are the intact copy's");
+            }
+            _ => panic!("expected data"),
+        }
+        assert_eq!(stats.get("store.crc_mismatches"), 1);
+        assert_eq!(stats.get("store.degraded_reads"), 1);
+        // The bad copy was quarantined: dropped from the home list and
+        // reclaimed, leaving the chunk under-replicated for repair.
+        let homes = store.manager().chunk_homes(c).unwrap().to_vec();
+        assert_eq!(homes.len(), 1);
+        assert!(!homes.contains(&primary));
+        assert!(!store.manager().benefactor(primary).has_chunk(c));
+        assert_eq!(store.manager().under_replicated().len(), 1);
+        let (_, report) = store.repair_under_replicated(t2);
+        assert_eq!(report.chunks_repaired, 1);
+        assert_eq!(store.count_corrupt_copies(), 0);
+        assert_eq!(store.manager().chunk_homes(c).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn corrupt_sole_copy_is_a_deterministic_error_not_wrong_data() {
+        let (store, stats) = store_verify(1);
+        let client = 2;
+        let f = make_file_replicated(&store, client, "/m", CHUNK, 1);
+        let page = vec![9u8; 4096];
+        let t = store
+            .write_pages(VTime::ZERO, client, f, 0, &[(0, &page)])
+            .unwrap();
+        let c = chunk_of(&store, f, 0);
+        store
+            .manager()
+            .benefactor_mut(BenefactorId(0))
+            .corrupt_chunk(c, 100);
+        let err = store.fetch_chunk(t, client, f, 0).unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::ChunkCorrupt {
+                chunk: c,
+                benefactor: BenefactorId(0)
+            }
+        );
+        // The bad copy is read (and counted) exactly once; retries skip it.
+        assert_eq!(stats.get("store.crc_mismatches"), 1);
+        // The sole copy stays listed: the metadata invariant holds and a
+        // later restore-from-elsewhere can still find the slot.
+        assert_eq!(store.manager().chunk_homes(c).unwrap(), &[BenefactorId(0)]);
+        // Identical on retry: deterministic, never silent.
+        let err2 = store.fetch_chunk(t, client, f, 0).unwrap_err();
+        assert!(matches!(err2, StoreError::ChunkCorrupt { .. }));
+    }
+
+    #[test]
+    fn torn_write_is_detected_by_verified_read() {
+        let (store, _) = store_verify(1);
+        let client = 2;
+        let f = make_file_replicated(&store, client, "/m", CHUNK, 1);
+        store.attach_faults(
+            faults::FaultPlanBuilder::new(11)
+                .torn_write(VTime::from_micros(1), 0)
+                .build(),
+        );
+        // The write happens after the tear is armed: only the first half
+        // of the chunk lands, but the manager recorded the intended CRC.
+        let data = vec![3u8; CHUNK as usize];
+        let t = store
+            .write_span(VTime::from_micros(2), client, f, 0, &data)
+            .unwrap();
+        assert_eq!(store.count_corrupt_copies(), 1);
+        let err = store.fetch_chunk(t, client, f, 0).unwrap_err();
+        assert!(matches!(err, StoreError::ChunkCorrupt { .. }));
+    }
+
+    #[test]
+    fn scrub_daemon_finds_and_repairs_bit_rot() {
+        let (store, stats) = store_verify(3);
+        let client = 4;
+        let f = make_file_replicated(&store, client, "/m", 4 * CHUNK, 2);
+        let page = vec![5u8; 4096];
+        let mut t = VTime::ZERO;
+        for idx in 0..4 {
+            t = store.write_pages(t, client, f, idx, &[(0, &page)]).unwrap();
+        }
+        // Rot every copy on benefactor 0 (rate 10000 bp = certain).
+        store.attach_faults(
+            faults::FaultPlanBuilder::new(21)
+                .bit_rot(t + VTime::from_micros(1), 0, 10_000)
+                .build(),
+        );
+        store.attach_scrub(
+            ScrubConfig {
+                interval: VTime::from_millis(1),
+                chunks_per_pass: 16,
+                ..ScrubConfig::default()
+            },
+            t + VTime::from_micros(2),
+        );
+        store.poll_faults(t + VTime::from_millis(1));
+        assert!(stats.get("store.crc_mismatches") > 0, "rot detected");
+        assert!(stats.get("store.scrub_repairs") > 0, "replicas restored");
+        assert_eq!(stats.get("store.scrub_passes"), 1);
+        assert_eq!(store.count_corrupt_copies(), 0, "no rot left behind");
+        // Every chunk is back at full degree on intact copies.
+        let mgr = store.manager();
+        for idx in 0..4 {
+            let c = match mgr.file(f).unwrap().slots[idx] {
+                Slot::Chunk(c) => c,
+                _ => unreachable!(),
+            };
+            assert_eq!(mgr.chunk_homes(c).unwrap().len(), 2);
+        }
+    }
+
+    #[test]
+    fn scrub_quarantines_rotten_benefactor_and_placement_avoids_it() {
+        let (store, stats) = store_verify(3);
+        let client = 4;
+        // Benefactor 0's media corrupts every write it takes.
+        store.attach_faults(
+            faults::FaultPlanBuilder::new(31)
+                .corruption_rate(VTime::from_micros(1), 0, 10_000)
+                .build(),
+        );
+        let f = make_file_replicated(&store, client, "/m", 4 * CHUNK, 2);
+        let page = vec![1u8; 4096];
+        let mut t = VTime::from_micros(2);
+        for idx in 0..4 {
+            t = store.write_pages(t, client, f, idx, &[(0, &page)]).unwrap();
+        }
+        store.attach_scrub(
+            ScrubConfig {
+                interval: VTime::from_millis(1),
+                chunks_per_pass: 16,
+                quarantine_rate: 0.5,
+                quarantine_min_samples: 2,
+            },
+            t,
+        );
+        store.poll_faults(t + VTime::from_millis(1));
+        assert!(
+            store.manager().benefactor(BenefactorId(0)).is_quarantined(),
+            "persistent corrupter crosses the quarantine threshold"
+        );
+        assert_eq!(stats.get("store.quarantined"), 1);
+        assert!(store.manager().benefactor(BenefactorId(0)).is_alive());
+        // New placements avoid it.
+        let g = make_file_replicated(&store, client, "/n", 2 * CHUNK, 2);
+        assert!(
+            !store
+                .manager()
+                .file(g)
+                .unwrap()
+                .stripe
+                .contains(&BenefactorId(0)),
+            "quarantined benefactor excluded from new stripes"
+        );
+    }
+
+    #[test]
+    fn integrity_knobs_off_changes_nothing() {
+        // Same workload, verification on vs off, no corruption anywhere:
+        // identical virtual times, and the knobs-off run registers none
+        // of the integrity counters (committed bench expectations must
+        // not grow keys).
+        let run = |verify: bool| -> (VTime, bool) {
+            let stats = StatsRegistry::new();
+            let net = Network::new(4, NetConfig::default(), &stats);
+            let cfg = StoreConfig {
+                verify_reads: verify,
+                ..StoreConfig::default()
+            };
+            let store = AggregateStore::new(cfg, net, &stats);
+            for (i, node) in [1usize, 2].iter().enumerate() {
+                let ssd = Ssd::new(&format!("b{i}.ssd"), INTEL_X25E, &stats);
+                store.add_benefactor(Benefactor::new(*node, ssd, mib(64), CHUNK));
+            }
+            let f = make_file(&store, "/m", 4 * CHUNK);
+            let data: Vec<u8> = (0..2 * CHUNK as usize + 777)
+                .map(|i| (i % 249) as u8)
+                .collect();
+            let mut t = store.write_span(VTime::ZERO, 3, f, 100, &data).unwrap();
+            let mut buf = vec![0u8; data.len()];
+            t = store.read_span(t, 3, f, 100, &mut buf).unwrap();
+            assert_eq!(buf, data);
+            t = store.write_span(t, 3, f, 0, &data[..4096]).unwrap();
+            let has_keys = stats.snapshot().values.contains_key("store.crc_mismatches");
+            (t, has_keys)
+        };
+        let (t_off, keys_off) = run(false);
+        let (t_on, keys_on) = run(true);
+        assert_eq!(t_off, t_on, "verification is timing-neutral when clean");
+        assert!(!keys_off, "knobs off: no integrity counters registered");
+        assert!(keys_on, "verify on: integrity counters present");
     }
 
     #[test]

@@ -15,7 +15,7 @@ const CAP_CHUNKS: u64 = 48;
 
 #[derive(Clone, Debug)]
 enum Action {
-    Create { size_chunks: u64 },
+    Create { size_chunks: u64, replicas: usize },
     WritePage { file_slot: usize, chunk_idx: usize },
     Link { dst_slot: usize, src_slot: usize },
     Delete { file_slot: usize },
@@ -23,7 +23,10 @@ enum Action {
 
 fn action_strategy() -> impl Strategy<Value = Action> {
     prop_oneof![
-        3 => (1u64..6).prop_map(|size_chunks| Action::Create { size_chunks }),
+        3 => (1u64..6, 1usize..3).prop_map(|(size_chunks, replicas)| Action::Create {
+            size_chunks,
+            replicas
+        }),
         4 => (0usize..8, 0usize..6).prop_map(|(file_slot, chunk_idx)| Action::WritePage {
             file_slot,
             chunk_idx
@@ -53,11 +56,19 @@ fn check_invariants(store: &AggregateStore, live: &[FileId]) {
     // Every benefactor's books stay within capacity and non-negative.
     let (total, free) = mgr.space();
     assert!(free <= total);
-    // Physical bytes equal the sum of chunks across benefactors.
+    // Copies held by benefactors match the metadata home lists exactly
+    // (a copy on disk with no home entry — or vice versa — is a leak),
+    // and `physical_bytes` counts each distinct chunk once.
     let stored: u64 = (0..mgr.benefactor_count())
         .map(|i| mgr.benefactor(chunkstore::BenefactorId(i)).chunk_count() as u64)
         .sum();
-    assert_eq!(mgr.physical_bytes(), stored * CHUNK);
+    let chunks = mgr.chunk_ids_sorted();
+    let homed: u64 = chunks
+        .iter()
+        .map(|&c| mgr.chunk_homes(c).unwrap().len() as u64)
+        .sum();
+    assert_eq!(stored, homed, "benefactor copies match metadata homes");
+    assert_eq!(mgr.physical_bytes(), chunks.len() as u64 * CHUNK);
     // Every live file's materialized chunks resolve to a live benefactor
     // entry with a positive refcount.
     for &f in live {
@@ -65,11 +76,16 @@ fn check_invariants(store: &AggregateStore, live: &[FileId]) {
         for slot in &meta.slots {
             if let chunkstore::Slot::Chunk(c) = slot {
                 assert!(mgr.chunk_refcount(*c) >= 1, "live chunk without refs");
-                let home = mgr.chunk_home(*c).expect("chunk has a home");
-                assert!(
-                    mgr.benefactor(home).has_chunk(*c),
-                    "metadata points at data"
-                );
+                // *Every* replica home must hold the bytes, not just the
+                // primary — a leaked or dangling replica is corruption.
+                let homes = mgr.chunk_homes(*c).expect("chunk has homes");
+                assert!(!homes.is_empty());
+                for home in homes {
+                    assert!(
+                        mgr.benefactor(*home).has_chunk(*c),
+                        "metadata points at data on every replica"
+                    );
+                }
             }
         }
     }
@@ -88,13 +104,16 @@ proptest! {
 
         for action in actions {
             match action {
-                Action::Create { size_chunks } => {
+                Action::Create { size_chunks, replicas } => {
                     name += 1;
                     if let Ok((t2, f)) = store.create_file(t, node, &format!("/f{name}")) {
                         t = t2;
+                        // Mixing k=1 and k=2 files exercises replica
+                        // reservation release alongside plain refcounts.
                         match store.fallocate(
                             t, node, f, size_chunks * CHUNK,
-                            StripeSpec::all(), PlacementPolicy::RoundRobin,
+                            StripeSpec::all().with_replicas(replicas),
+                            PlacementPolicy::RoundRobin,
                         ) {
                             Ok(t2) => { t = t2; files.push(f); }
                             Err(_) => { t = store.delete(t, node, f).unwrap(); }

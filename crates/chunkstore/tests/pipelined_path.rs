@@ -120,6 +120,40 @@ proptest! {
     }
 }
 
+/// A degraded slot must cost the batch exactly what it costs the serial
+/// path: `fetch_chunks` routes fallback targets through the same
+/// verified retry loop as `fetch_chunk` (one manager RPC, then
+/// failover/backoff from the RPC's end), so the virtual completion
+/// times — not just the payloads — are identical.
+#[test]
+fn batched_degraded_fetch_costs_the_same_virtual_time_as_serial() {
+    let writes: Vec<Option<u8>> = vec![Some(42), None, None, None, None, None];
+    for nbene in 2..5 {
+        // Crash slot 0's primary home so the single target is degraded.
+        let (serial_store, serial_stats, f_s, t) = prepare(nbene, 2, &writes, Some(0));
+        let (batch_store, batch_stats, f_b, _) = prepare(nbene, 2, &writes, Some(0));
+        let client = nbene;
+
+        let (t_serial, p_serial) = serial_store.fetch_chunk(t, client, f_s, 0).unwrap();
+        let batched = batch_store
+            .fetch_chunks(t, client, &[(f_b, 0)], None)
+            .unwrap();
+        let (t_batch, p_batch) = &batched[0];
+
+        assert_eq!(
+            t_serial, *t_batch,
+            "degraded fetch time diverged at nbene={nbene}"
+        );
+        assert_eq!(&p_serial, p_batch);
+        assert_eq!(serial_stats.get("store.degraded_reads"), 1);
+        assert_eq!(batch_stats.get("store.degraded_reads"), 1);
+        assert_eq!(
+            serial_stats.get("store.failovers"),
+            batch_stats.get("store.failovers")
+        );
+    }
+}
+
 /// Epoch coherence: the cache serves repeat fetches without manager
 /// traffic, is dropped wholesale the moment placement can have changed
 /// (crash, repair, recovery), and never yields stale homes — reads stay

@@ -48,6 +48,32 @@ pub enum FaultEvent {
     SsdSlowdown { node: usize, factor: f64 },
     /// The node's SSD returns to nominal speed.
     SsdRestore { node: usize },
+    /// Silent bit-rot on a benefactor: each chunk stored there flips a
+    /// byte with probability `rate_bp` basis points (1/10000), scaled up
+    /// by the device's accumulated wear (worn flash rots faster — the
+    /// store reads `life_consumed` from the SSD's wear report and derates
+    /// accordingly). Per-chunk decisions and flip offsets derive from
+    /// `seed` through `child_seed`, so the same plan corrupts the same
+    /// bytes on every run.
+    BitRot {
+        benefactor: usize,
+        rate_bp: u32,
+        seed: u64,
+    },
+    /// A crash in the middle of the benefactor's next chunk write: only
+    /// the first half of each dirty run reaches the media, leaving the
+    /// chunk half-new/half-old while the manager records the checksum of
+    /// the intended content. One-shot — the write after next is clean.
+    TornWrite { benefactor: usize },
+    /// Persistent media degradation: from now on, every chunk write on
+    /// this benefactor flips a stored byte with probability `rate_bp`
+    /// basis points, drawn seed-stably per write. `rate_bp = 0` restores
+    /// healthy behaviour.
+    CorruptionRate {
+        benefactor: usize,
+        rate_bp: u32,
+        seed: u64,
+    },
 }
 
 impl FaultEvent {
@@ -70,6 +96,19 @@ impl FaultEvent {
                 format!("fault.ssd_slowdown node={node} x{factor}")
             }
             FaultEvent::SsdRestore { node } => format!("fault.ssd_restore node={node}"),
+            FaultEvent::BitRot {
+                benefactor,
+                rate_bp,
+                ..
+            } => format!("fault.bit_rot b={benefactor} rate={rate_bp}bp"),
+            FaultEvent::TornWrite { benefactor } => {
+                format!("fault.torn_write b={benefactor}")
+            }
+            FaultEvent::CorruptionRate {
+                benefactor,
+                rate_bp,
+                ..
+            } => format!("fault.corruption_rate b={benefactor} rate={rate_bp}bp"),
         }
     }
 }
@@ -199,6 +238,42 @@ impl FaultPlanBuilder {
         self.at(at, FaultEvent::SsdRestore { node })
     }
 
+    /// Schedule a bit-rot event: at `at`, every chunk on `benefactor`
+    /// flips a byte with probability `rate_bp` basis points (wear-scaled
+    /// when applied). The corruption pattern seed comes from the
+    /// builder's deterministic choice stream.
+    pub fn bit_rot(mut self, at: VTime, benefactor: usize, rate_bp: u32) -> Self {
+        let seed = self.draw();
+        self.at(
+            at,
+            FaultEvent::BitRot {
+                benefactor,
+                rate_bp,
+                seed,
+            },
+        )
+    }
+
+    /// Arm a one-shot torn write on `benefactor` at `at`.
+    pub fn torn_write(self, at: VTime, benefactor: usize) -> Self {
+        self.at(at, FaultEvent::TornWrite { benefactor })
+    }
+
+    /// Persistently degrade `benefactor` from `at`: each later chunk
+    /// write there corrupts a stored byte with probability `rate_bp`
+    /// basis points (0 restores healthy media).
+    pub fn corruption_rate(mut self, at: VTime, benefactor: usize, rate_bp: u32) -> Self {
+        let seed = self.draw();
+        self.at(
+            at,
+            FaultEvent::CorruptionRate {
+                benefactor,
+                rate_bp,
+                seed,
+            },
+        )
+    }
+
     /// Schedule `count` benefactor crashes at seed-derived times inside
     /// `[window_start, window_end)`, each hitting a seed-derived victim
     /// out of `benefactors`. With `mttr` set, every victim recovers that
@@ -265,6 +340,35 @@ mod tests {
             due[1].event,
             FaultEvent::BenefactorRecover { benefactor: 3 }
         );
+    }
+
+    #[test]
+    fn corruption_events_are_seed_stable() {
+        let mk = |seed| {
+            FaultPlanBuilder::new(seed)
+                .bit_rot(VTime::from_secs(1), 2, 500)
+                .torn_write(VTime::from_secs(2), 1)
+                .corruption_rate(VTime::from_secs(3), 0, 50)
+                .build()
+        };
+        let a = mk(9);
+        assert_eq!(a.events(), mk(9).events(), "same seed, same pattern");
+        // The embedded corruption seeds come from the builder stream, so
+        // a different builder seed changes them.
+        assert_ne!(a.events(), mk(10).events());
+        match a.events()[0].event {
+            FaultEvent::BitRot {
+                benefactor,
+                rate_bp,
+                seed,
+            } => {
+                assert_eq!((benefactor, rate_bp), (2, 500));
+                assert_ne!(seed, 0, "pattern seed drawn from the stream");
+            }
+            _ => panic!("bit-rot first"),
+        }
+        assert!(a.events()[1].event.describe().contains("torn_write"));
+        assert!(a.events()[2].event.describe().contains("corruption_rate"));
     }
 
     #[test]

@@ -51,4 +51,30 @@ grep -q '"daemon: background flusher and clean-first eviction were exercised": t
     "$smoke_dir/BENCH_writeback_daemon.json" \
     || { echo "FAIL: daemon shape check did not pass"; exit 1; }
 
+echo "==> scrub smoke (knobs-off baseline must match committed expectations)"
+BENCH_JSON_DIR="$smoke_dir" cargo bench -q -p bench --bench scrub -- --smoke
+diff -u crates/bench/expected/BENCH_scrub_serial.json \
+    "$smoke_dir/BENCH_scrub_serial.json"
+
+echo "==> injected bit rot must be detected, repaired and never served"
+for c in rotted_crc_mismatches rotted_scrub_repairs scrub_repairs; do
+    if ! grep -Eq "\"$c\": [1-9]" "$smoke_dir/BENCH_scrub.json"; then
+        echo "FAIL: counter $c is zero or missing from BENCH_scrub.json"
+        exit 1
+    fi
+done
+for shape in \
+    "zero wrong reads: rotted k=2 STREAM completes and verifies" \
+    "scrub daemon repairs every rotted copy from replicas" \
+    "k=1 rot surfaces as ChunkCorrupt naming the bad copy"; do
+    grep -q "\"$shape\": true" "$smoke_dir/BENCH_scrub.json" \
+        || { echo "FAIL: integrity shape check did not pass: $shape"; exit 1; }
+done
+
+echo "==> integrity counters must appear in the obs footer"
+for c in store.crc_mismatches store.scrub_passes store.scrub_repairs; do
+    grep -q "\"$c\"" "$smoke_dir/BENCH_scrub.json" \
+        || { echo "FAIL: counter $c missing from the obs footer"; exit 1; }
+done
+
 echo "All checks passed."
