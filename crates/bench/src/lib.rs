@@ -51,11 +51,22 @@ pub fn hal_cluster(cfg: &JobConfig) -> Cluster {
 }
 
 pub fn hal_cluster_scaled(cfg: &JobConfig, scale: u64) -> Cluster {
-    Cluster::with_fuse(
+    Cluster::with_configs(
         ClusterSpec::hal().scaled(scale),
         &cfg.benefactor_nodes(),
         scaled_fuse(scale),
+        store_for(cfg),
     )
+}
+
+/// The store configuration a job configuration implies: default knobs,
+/// plus the sharded placement manager when the job asks for it
+/// (`run_job` asserts the cluster's shard count matches the job's).
+pub fn store_for(cfg: &JobConfig) -> chunkstore::StoreConfig {
+    chunkstore::StoreConfig {
+        manager_shards: cfg.manager_shards,
+        ..chunkstore::StoreConfig::default()
+    }
 }
 
 /// Print the standard experiment header (testbed + experiment id).
@@ -101,6 +112,27 @@ pub fn store_health(label: &str, cluster: &Cluster) {
         s.get("store.repairs_chunks"),
         simcore::bytes::human(s.get("store.repairs_bytes")),
     );
+    // Manager RPC mix: the aggregate plus the per-op split (ISSUE 6).
+    println!(
+        "  [health {label}] manager: rpcs={} (fetch={} write={} place={})",
+        s.get("store.mgr_rpcs"),
+        s.get("store.mgr_rpc_fetch"),
+        s.get("store.mgr_rpc_write"),
+        s.get("store.mgr_rpc_place"),
+    );
+    // Shardmgr line, only when the sharded placement manager is installed
+    // (its counters are registered lazily, like the integrity ones).
+    if s.snapshot().values.contains_key("store.lease_grants") {
+        println!(
+            "  [health {label}] shardmgr: shards={} lease_grants={} renewals={} revokes={} \
+             expiries={}",
+            cluster.store.shards_installed(),
+            s.get("store.lease_grants"),
+            s.get("store.lease_renewals"),
+            s.get("store.lease_revokes"),
+            s.get("store.lease_expiries"),
+        );
+    }
     // Integrity line, only for runs that had verification or scrubbing
     // switched on (the counters are registered lazily so knobs-off bench
     // output is unchanged).
@@ -398,6 +430,10 @@ impl JsonReport {
             "store.degraded_reads",
             "store.repairs_chunks",
             "store.repairs_bytes",
+            "store.mgr_rpcs",
+            "store.mgr_rpc_fetch",
+            "store.mgr_rpc_write",
+            "store.mgr_rpc_place",
         ] {
             h.set(key, s.get(key));
         }
@@ -419,6 +455,21 @@ impl JsonReport {
                 "quarantined_benefactors",
                 cluster.store.manager().quarantined_count() as u64,
             );
+        }
+        // Lease counters exist only when the sharded placement manager is
+        // installed; same lazy-registration policy.
+        for key in [
+            "store.lease_grants",
+            "store.lease_renewals",
+            "store.lease_revokes",
+            "store.lease_expiries",
+        ] {
+            if snap.contains_key(key) {
+                h.set(key, s.get(key));
+            }
+        }
+        if snap.contains_key("store.lease_grants") {
+            h.set("manager_shards", cluster.store.shards_installed() as u64);
         }
         self.health = h;
         self

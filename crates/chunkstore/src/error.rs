@@ -38,6 +38,10 @@ pub enum StoreError {
         chunk: ChunkId,
         benefactor: BenefactorId,
     },
+    /// The placement shard owning the requested keyspace is down and the
+    /// retry window ran out (DESIGN.md §12). Only that shard's unleased
+    /// keys are affected — leased clients and other shards keep working.
+    ShardDown(usize),
 }
 
 impl fmt::Display for StoreError {
@@ -73,6 +77,9 @@ impl fmt::Display for StoreError {
                 f,
                 "{chunk} failed CRC verification on every reachable copy (last bad: {benefactor})"
             ),
+            StoreError::ShardDown(shard) => {
+                write!(f, "placement shard#{shard} is down")
+            }
         }
     }
 }
@@ -107,5 +114,8 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("file#3"), "{msg}");
         assert!(msg.contains("[10, 15)"), "{msg}");
+
+        let e = StoreError::ShardDown(2);
+        assert!(e.to_string().contains("shard#2"), "{e}");
     }
 }

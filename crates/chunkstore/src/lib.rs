@@ -17,7 +17,10 @@
 //! * [`loc_cache`] — client-side chunk-location cache (epoch-invalidated)
 //!   feeding the batched, pipelined data path;
 //! * [`crc`] — CRC-64/XZ chunk digests backing verified reads and the
-//!   scrub daemon (DESIGN.md §11).
+//!   scrub daemon (DESIGN.md §11);
+//! * [`shardmgr`] — the sharded placement manager (DESIGN.md §12):
+//!   consistent-hash ring over placement keys plus lease-based client
+//!   delegation, so hot paths skip the manager entirely.
 
 pub mod benefactor;
 pub mod crc;
@@ -25,6 +28,7 @@ pub mod error;
 pub mod ids;
 pub mod loc_cache;
 pub mod manager;
+pub mod shardmgr;
 pub mod store;
 
 pub use benefactor::Benefactor;
@@ -33,4 +37,5 @@ pub use error::{Result, StoreError};
 pub use ids::{BenefactorId, ChunkId, FileId};
 pub use loc_cache::LocationCache;
 pub use manager::{ChunkMeta, FileMeta, Manager, PlacementPolicy, Slot, StripeSpec, StripeWidth};
+pub use shardmgr::{HashRing, ShardSet, DEFAULT_RING_SEED};
 pub use store::{AggregateStore, BatchWrite, ChunkPayload, RepairReport, ScrubConfig, StoreConfig};

@@ -90,6 +90,27 @@ impl LocationCache {
         }
     }
 
+    /// The sharded manager's lease gate (DESIGN.md §12): the client has
+    /// no delegation authority from the owning shard, so a cached entry
+    /// — even a fresh one — may not be used and the target must go to
+    /// the shard. Replays `lookup`'s epoch-transition bookkeeping
+    /// (invalidation counting + clear) and counts the forced miss, then
+    /// drops the unusable entry so the shard's answer replaces it. With
+    /// one shard and a held lease this path never runs, keeping counters
+    /// bit-identical to the serial manager.
+    pub(crate) fn note_unleased_miss(&self, current_epoch: u64, key: (FileId, usize)) {
+        let mut inner = self.inner.lock();
+        if inner.epoch != current_epoch {
+            if !inner.map.is_empty() {
+                self.invalidations.inc();
+            }
+            inner.map.clear();
+            inner.epoch = current_epoch;
+        }
+        inner.map.remove(&key);
+        self.misses.inc();
+    }
+
     /// Record a fresh resolution made at `epoch`.
     pub(crate) fn insert(&self, epoch: u64, key: (FileId, usize), loc: CachedLoc) {
         let mut inner = self.inner.lock();

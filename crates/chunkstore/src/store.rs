@@ -12,6 +12,7 @@ use crate::error::{Result, StoreError};
 use crate::ids::{BenefactorId, ChunkId, FileId};
 use crate::loc_cache::{CachedLoc, LocationCache};
 use crate::manager::{Manager, PlacementPolicy, Slot, StripeSpec};
+use crate::shardmgr::{HashRing, LeaseCounters, ShardSet, DEFAULT_VNODES};
 use devices::WearReport;
 use faults::{FaultEvent, FaultPlan};
 use netsim::{LinkFault, Network};
@@ -47,6 +48,13 @@ pub struct StoreConfig {
     /// with this unset, read timing and counters are bit-identical to a
     /// build without the integrity subsystem.
     pub verify_reads: bool,
+    /// Number of placement-manager shard ranks (DESIGN.md §12). `0` (the
+    /// default) keeps the serial single-manager path untouched; cluster
+    /// builds consume this knob and call
+    /// [`AggregateStore::install_shards`] with one rank per shard.
+    pub manager_shards: usize,
+    /// TTL of a client's placement-delegation lease in shard mode.
+    pub lease_ttl: VTime,
 }
 
 impl Default for StoreConfig {
@@ -60,6 +68,8 @@ impl Default for StoreConfig {
             fetch_retries: 2,
             retry_backoff: VTime::from_millis(5),
             verify_reads: false,
+            manager_shards: 0,
+            lease_ttl: VTime::from_secs(5),
         }
     }
 }
@@ -164,6 +174,9 @@ pub struct AggregateStore {
     cfg: StoreConfig,
     faults: Arc<Mutex<Option<FaultPlan>>>,
     mgr_rpcs: Counter,
+    mgr_rpc_fetch: Counter,
+    mgr_rpc_write: Counter,
+    mgr_rpc_place: Counter,
     chunk_fetches: Counter,
     zero_fills: Counter,
     bytes_to_clients: Counter,
@@ -182,7 +195,30 @@ pub struct AggregateStore {
     /// so knobs-off stat snapshots stay byte-identical.
     stats: StatsRegistry,
     scrub: Arc<Mutex<Option<ScrubState>>>,
+    /// The sharded placement manager (DESIGN.md §12); `None` until
+    /// [`AggregateStore::install_shards`] runs. Like scrub, entirely
+    /// opt-in: with no shard set every path below uses the serial
+    /// manager RPC.
+    shards: Arc<Mutex<Option<ShardSet>>>,
     trace: TraceRecorder,
+}
+
+/// The three metadata-RPC flavours, split out per ISSUE 6 so bench
+/// footers can show *what* the manager is being asked, not just how often.
+#[derive(Clone, Copy, Debug)]
+enum MgrOp {
+    /// Chunk-location resolution for reads.
+    Fetch,
+    /// Write-back resolution / placement mutation.
+    Write,
+    /// Namespace + allocation control plane (create/fallocate/open/
+    /// delete/link).
+    Place,
+}
+
+/// The netsim endpoint name shard `k` registers at install time.
+fn shard_endpoint(k: usize) -> String {
+    format!("shardmgr/{k}")
 }
 
 impl AggregateStore {
@@ -193,6 +229,9 @@ impl AggregateStore {
             cfg,
             faults: Arc::new(Mutex::new(None)),
             mgr_rpcs: stats.counter("store.mgr_rpcs"),
+            mgr_rpc_fetch: stats.counter("store.mgr_rpc_fetch"),
+            mgr_rpc_write: stats.counter("store.mgr_rpc_write"),
+            mgr_rpc_place: stats.counter("store.mgr_rpc_place"),
             chunk_fetches: stats.counter("store.chunk_fetches"),
             zero_fills: stats.counter("store.zero_fills"),
             bytes_to_clients: stats.counter("store.bytes_to_clients"),
@@ -208,6 +247,7 @@ impl AggregateStore {
             batched_writes: stats.counter("store.batched_writes"),
             stats: stats.clone(),
             scrub: Arc::new(Mutex::new(None)),
+            shards: Arc::new(Mutex::new(None)),
             trace: TraceRecorder::disabled(),
         };
         if store.cfg.verify_reads {
@@ -344,6 +384,8 @@ impl AggregateStore {
                     .benefactor_mut(BenefactorId(benefactor))
                     .set_corruption_rate(rate_bp, seed);
             }
+            FaultEvent::ShardCrash { shard } => self.set_shard_alive(shard, false),
+            FaultEvent::ShardRecover { shard } => self.set_shard_alive(shard, true),
         }
     }
 
@@ -550,9 +592,20 @@ impl AggregateStore {
         n
     }
 
-    /// Charge one metadata round-trip to the manager.
-    fn mgr_rpc(&self, t: VTime, client_node: usize) -> VTime {
+    /// Bump the aggregate RPC counter plus the per-op split (ISSUE 6
+    /// satellite: `store_health` footers show fetch/write/place shares).
+    fn count_mgr_rpc(&self, op: MgrOp) {
         self.mgr_rpcs.inc();
+        match op {
+            MgrOp::Fetch => self.mgr_rpc_fetch.inc(),
+            MgrOp::Write => self.mgr_rpc_write.inc(),
+            MgrOp::Place => self.mgr_rpc_place.inc(),
+        }
+    }
+
+    /// Charge one metadata round-trip to the serial manager.
+    fn mgr_rpc(&self, t: VTime, client_node: usize, op: MgrOp) -> VTime {
+        self.count_mgr_rpc(op);
         let sp = self.trace.span(Layer::Store, "store.mgr_rpc", t);
         sp.arg("client", client_node as u64);
         let req = self
@@ -566,11 +619,159 @@ impl AggregateStore {
         resp.arrived
     }
 
+    // ----- sharded placement manager (DESIGN.md §12) ------------------------
+
+    /// Install the sharded placement manager: shard `k` runs on
+    /// `nodes[k]` and owns the keyspace the ring assigns it. Registers
+    /// each shard's RPC endpoint with the network fabric and the
+    /// shard/lease counters — lazily, like the integrity set, so
+    /// knobs-off stat snapshots do not grow keys. `seed` fixes the ring
+    /// layout; cluster builds pass [`crate::shardmgr::DEFAULT_RING_SEED`].
+    pub fn install_shards(&self, nodes: &[usize], seed: u64) {
+        assert!(!nodes.is_empty(), "a shard set needs at least one rank");
+        let counters = LeaseCounters {
+            grants: self.stats.counter("store.lease_grants"),
+            renewals: self.stats.counter("store.lease_renewals"),
+            revokes: self.stats.counter("store.lease_revokes"),
+            expiries: self.stats.counter("store.lease_expiries"),
+        };
+        let per_shard = (0..nodes.len())
+            .map(|k| self.stats.counter(&format!("store.shard_rpcs.s{k}")))
+            .collect();
+        for (k, &node) in nodes.iter().enumerate() {
+            self.net.register_endpoint(&shard_endpoint(k), node);
+        }
+        let ring = HashRing::new(nodes.len(), DEFAULT_VNODES, seed);
+        *self.shards.lock() = Some(ShardSet::new(
+            ring,
+            nodes,
+            self.cfg.lease_ttl,
+            seed,
+            counters,
+            per_shard,
+        ));
+    }
+
+    /// Number of installed placement shards (`0` = serial manager).
+    pub fn shards_installed(&self) -> usize {
+        self.shards.lock().as_ref().map_or(0, |s| s.len())
+    }
+
+    /// Ring owner of a slot key, when shards are installed. Pure local
+    /// computation — routing costs no RPC.
+    pub fn shard_of_slot(&self, file: FileId, idx: usize) -> Option<usize> {
+        self.shards
+            .lock()
+            .as_ref()
+            .map(|s| s.ring().owner_of_slot(file, idx))
+    }
+
+    /// Is shard `k` currently alive? (Trivially true with no shard set.)
+    pub fn shard_alive(&self, shard: usize) -> bool {
+        self.shards
+            .lock()
+            .as_ref()
+            .is_none_or(|s| s.is_alive(shard))
+    }
+
+    /// Live leases currently granted by `shard` (tests/benches).
+    pub fn shard_leases(&self, shard: usize) -> usize {
+        self.shards
+            .lock()
+            .as_ref()
+            .map_or(0, |s| s.leases_held(shard))
+    }
+
+    /// Charge one metadata round-trip to placement shard `shard`. The
+    /// request and response are control-sized messages to the shard's
+    /// registered endpoint; the operation occupies the shard's FIFO
+    /// metadata CPU — which is where client fan-in queues, and what extra
+    /// shards relieve. The response piggybacks a lease grant/renewal for
+    /// the calling client. A dead shard is retried on the same backoff
+    /// schedule as benefactor failover (a scheduled recovery may land in
+    /// between) before the op fails with [`StoreError::ShardDown`].
+    fn shard_rpc(&self, t: VTime, client_node: usize, shard: usize, op: MgrOp) -> Result<VTime> {
+        let mut t = t;
+        let mut attempts = 0;
+        loop {
+            let alive = self
+                .shards
+                .lock()
+                .as_ref()
+                .expect("shard RPC without an installed shard set")
+                .is_alive(shard);
+            if !alive {
+                if attempts >= self.cfg.fetch_retries {
+                    return Err(StoreError::ShardDown(shard));
+                }
+                attempts += 1;
+                t += self.cfg.retry_backoff;
+                self.poll_faults(t);
+                continue;
+            }
+            let node = self
+                .net
+                .endpoint_node(&shard_endpoint(shard))
+                .expect("shard endpoint registered at install");
+            self.count_mgr_rpc(op);
+            let sp = self.trace.span(Layer::Store, "store.mgr_rpc", t);
+            sp.arg("client", client_node as u64)
+                .arg("shard", shard as u64);
+            let req = self
+                .net
+                .transfer_at(t, client_node, node, self.cfg.rpc_bytes);
+            let done = {
+                let shards = self.shards.lock();
+                let ss = shards.as_ref().expect("shard set installed");
+                ss.count_rpc(shard);
+                ss.cpu_done(shard, req.arrived, self.cfg.mgr_cpu)
+            };
+            let resp = self
+                .net
+                .transfer_at(done, node, client_node, self.cfg.rpc_bytes);
+            self.shards
+                .lock()
+                .as_mut()
+                .expect("shard set installed")
+                .grant_lease(shard, client_node, resp.arrived);
+            sp.finish(resp.arrived);
+            return Ok(resp.arrived);
+        }
+    }
+
+    /// Metadata round-trip for a namespace (control-plane) operation. The
+    /// namespace has no per-chunk key to hash, so in shard mode it lives
+    /// on shard 0 — the *root shard*; with no shard set this is the
+    /// serial manager RPC.
+    fn namespace_rpc(&self, t: VTime, client_node: usize) -> Result<VTime> {
+        if self.shards_installed() > 0 {
+            self.shard_rpc(t, client_node, 0, MgrOp::Place)
+        } else {
+            Ok(self.mgr_rpc(t, client_node, MgrOp::Place))
+        }
+    }
+
+    /// Metadata round-trip resolving slot `(file, idx)`: routed to the
+    /// ring owner in shard mode, the serial manager otherwise.
+    fn slot_rpc(
+        &self,
+        t: VTime,
+        client_node: usize,
+        file: FileId,
+        idx: usize,
+        op: MgrOp,
+    ) -> Result<VTime> {
+        match self.shard_of_slot(file, idx) {
+            Some(shard) => self.shard_rpc(t, client_node, shard, op),
+            None => Ok(self.mgr_rpc(t, client_node, op)),
+        }
+    }
+
     // ----- control plane ---------------------------------------------------
 
     pub fn create_file(&self, t: VTime, client_node: usize, name: &str) -> Result<(VTime, FileId)> {
         self.poll_faults(t);
-        let t = self.mgr_rpc(t, client_node);
+        let t = self.namespace_rpc(t, client_node)?;
         let id = self.mgr.lock().create_file(name)?;
         Ok((t, id))
     }
@@ -585,20 +786,25 @@ impl AggregateStore {
         placement: PlacementPolicy,
     ) -> Result<VTime> {
         self.poll_faults(t);
-        let t = self.mgr_rpc(t, client_node);
+        let t = self.namespace_rpc(t, client_node)?;
         self.mgr.lock().fallocate(file, size, spec, placement)?;
         Ok(t)
     }
 
-    pub fn open(&self, t: VTime, client_node: usize, name: &str) -> (VTime, Option<FileId>) {
+    pub fn open(
+        &self,
+        t: VTime,
+        client_node: usize,
+        name: &str,
+    ) -> Result<(VTime, Option<FileId>)> {
         self.poll_faults(t);
-        let t = self.mgr_rpc(t, client_node);
-        (t, self.mgr.lock().lookup(name))
+        let t = self.namespace_rpc(t, client_node)?;
+        Ok((t, self.mgr.lock().lookup(name)))
     }
 
     pub fn delete(&self, t: VTime, client_node: usize, file: FileId) -> Result<VTime> {
         self.poll_faults(t);
-        let t = self.mgr_rpc(t, client_node);
+        let t = self.namespace_rpc(t, client_node)?;
         self.mgr.lock().delete_file(file)?;
         Ok(t)
     }
@@ -612,7 +818,7 @@ impl AggregateStore {
         src: FileId,
     ) -> Result<VTime> {
         self.poll_faults(t);
-        let t = self.mgr_rpc(t, client_node);
+        let t = self.namespace_rpc(t, client_node)?;
         self.mgr.lock().link_file(dst, src)?;
         Ok(t)
     }
@@ -651,7 +857,7 @@ impl AggregateStore {
         self.poll_faults(t);
         let sp = self.trace.span(Layer::Store, "store.chunk_fetch", t);
         sp.arg("file", file.0).arg("idx", idx as u64);
-        let t = self.mgr_rpc(t, client_node);
+        let t = self.slot_rpc(t, client_node, file, idx, MgrOp::Fetch)?;
         self.chunk_fetches.inc();
         let chunk = {
             let mgr = self.mgr.lock();
@@ -851,22 +1057,76 @@ impl AggregateStore {
         sp.arg("targets", targets.len() as u64)
             .arg("client", client_node as u64);
 
-        // Resolve from the location cache where the epoch allows.
-        let mut resolved: Vec<Option<CachedLoc>> = {
-            let epoch = self.mgr.lock().placement_epoch();
+        // Resolve from the location cache where the epoch allows. In
+        // shard mode a cached entry may only be used while the client
+        // holds a live lease from the shard owning that target
+        // (DESIGN.md §12) — an unleased target is forced to the shard
+        // even when cached. With one shard and a held lease the gate
+        // never fires, so counters stay identical to the serial manager.
+        let shard_mode = self.shards_installed() > 0;
+        let owners: Vec<usize> = if shard_mode {
+            let shards = self.shards.lock();
+            let ss = shards.as_ref().expect("shard set installed");
             targets
                 .iter()
-                .map(|&key| cache.and_then(|c| c.lookup(epoch, key)))
+                .map(|&(f, i)| ss.ring().owner_of_slot(f, i))
                 .collect()
+        } else {
+            Vec::new()
+        };
+        let mut resolved: Vec<Option<CachedLoc>> = {
+            let epoch = self.mgr.lock().placement_epoch();
+            if !shard_mode {
+                targets
+                    .iter()
+                    .map(|&key| cache.and_then(|c| c.lookup(epoch, key)))
+                    .collect()
+            } else {
+                let mut shards = self.shards.lock();
+                let ss = shards.as_mut().expect("shard set installed");
+                targets
+                    .iter()
+                    .zip(&owners)
+                    .map(|(&key, &owner)| match cache {
+                        Some(c) if ss.check_lease(owner, client_node, t) => c.lookup(epoch, key),
+                        Some(c) => {
+                            c.note_unleased_miss(epoch, key);
+                            None
+                        }
+                        None => None,
+                    })
+                    .collect()
+            }
         };
 
-        // One shared RPC covers every unresolved target; a fully cached
-        // batch skips the manager round-trip entirely.
+        // One shared RPC covers every unresolved target — per owning
+        // shard in shard mode, each issued concurrently from `t` (they
+        // queue on *different* shard CPUs, which is the whole point).
+        // Entry `i` may start its benefactor chain at `ready[i]`: its
+        // owner's response arrival, or `t` when its shard was never
+        // consulted (a leased cache hit). A fully cached batch skips
+        // every manager round-trip.
         let any_miss = resolved.iter().any(|r| r.is_none());
-        let t0 = if any_miss {
-            self.mgr_rpc(t, client_node)
+        let ready: Vec<VTime> = if !shard_mode {
+            let t0 = if any_miss {
+                self.mgr_rpc(t, client_node, MgrOp::Fetch)
+            } else {
+                t
+            };
+            vec![t0; targets.len()]
         } else {
-            t
+            let mut contacted: BTreeMap<usize, VTime> = BTreeMap::new();
+            for (i, r) in resolved.iter().enumerate() {
+                if r.is_none() {
+                    contacted.entry(owners[i]).or_insert(VTime::ZERO);
+                }
+            }
+            for (&shard, end) in contacted.iter_mut() {
+                *end = self.shard_rpc(t, client_node, shard, MgrOp::Fetch)?;
+            }
+            (0..targets.len())
+                .map(|i| contacted.get(&owners[i]).copied().unwrap_or(t))
+                .collect()
         };
         if any_miss {
             let mgr = self.mgr.lock();
@@ -942,10 +1202,18 @@ impl AggregateStore {
         // Group chains per benefactor (input order within a group) and
         // drain them min-cursor-first so resource requests are issued in
         // non-decreasing virtual time.
+        // A group's cursor starts at ZERO; each entry starts at
+        // `max(cursor, ready[i])`, so with a uniform `ready` (serial
+        // manager, or shards=1 where every owner is shard 0) the drain is
+        // exactly the original shared-`t0` schedule.
         let mut groups: BTreeMap<BenefactorId, (VTime, Vec<usize>)> = BTreeMap::new();
         for (i, p) in plan.iter().enumerate() {
             if let Plan::Chain { home, .. } = p {
-                groups.entry(*home).or_insert((t0, Vec::new())).1.push(i);
+                groups
+                    .entry(*home)
+                    .or_insert((VTime::ZERO, Vec::new()))
+                    .1
+                    .push(i);
             }
         }
         let mut out: Vec<Option<(VTime, ChunkPayload)>> = Vec::new();
@@ -954,7 +1222,7 @@ impl AggregateStore {
             let next = groups
                 .iter()
                 .filter(|(_, (_, order))| !order.is_empty())
-                .min_by_key(|(home, (at, _))| (*at, **home))
+                .min_by_key(|(home, (at, order))| ((*at).max(ready[order[0]]), **home))
                 .map(|(&home, _)| home);
             let Some(home) = next else { break };
             let (at, order) = groups.get_mut(&home).expect("group exists");
@@ -965,13 +1233,14 @@ impl AggregateStore {
             else {
                 unreachable!("grouped entries are chains")
             };
+            let start = (*at).max(ready[i]);
             self.chunk_fetches.inc();
-            let csp = self.trace.span(Layer::Store, "store.chunk_fetch", *at);
+            let csp = self.trace.span(Layer::Store, "store.chunk_fetch", start);
             // The shared retry loop re-picks from the live home list (the
             // same scan that planned this chain) and, under
             // `verify_reads`, fails the entry over to a replica when the
             // arrived bytes don't match the recorded CRC.
-            let res = self.fetch_verified(*at, client_node, chunk, degraded)?;
+            let res = self.fetch_verified(start, client_node, chunk, degraded)?;
             csp.arg("benefactor", res.home.0 as u64)
                 .arg("node", res.node as u64);
             if res.degraded {
@@ -983,8 +1252,8 @@ impl AggregateStore {
         }
 
         // Zeros and degraded fallbacks fill in the gaps. A fallback runs
-        // the same retry loop the serial path would, from the shared
-        // resolution time t0 — no second manager RPC — so a degraded
+        // the same retry loop the serial path would, from its entry's
+        // resolution time — no second manager RPC — so a degraded
         // batched fetch completes at exactly the serial fetch's time and
         // counts under the same `degraded_reads` counter.
         for (i, p) in plan.iter().enumerate() {
@@ -992,12 +1261,12 @@ impl AggregateStore {
                 Plan::Zeros => {
                     self.chunk_fetches.inc();
                     self.zero_fills.inc();
-                    out[i] = Some((t0, ChunkPayload::Zeros));
+                    out[i] = Some((ready[i], ChunkPayload::Zeros));
                 }
                 Plan::Fallback { chunk } => {
                     self.chunk_fetches.inc();
-                    let csp = self.trace.span(Layer::Store, "store.chunk_fetch", t0);
-                    let res = self.fetch_verified(t0, client_node, *chunk, false)?;
+                    let csp = self.trace.span(Layer::Store, "store.chunk_fetch", ready[i]);
+                    let res = self.fetch_verified(ready[i], client_node, *chunk, false)?;
                     csp.arg("benefactor", res.home.0 as u64)
                         .arg("node", res.node as u64);
                     if res.degraded {
@@ -1014,7 +1283,7 @@ impl AggregateStore {
             .map(|e| e.expect("all entries filled"))
             .collect();
         // The batch completes when its slowest entry does.
-        sp.finish(out.iter().map(|&(end, _)| end).max().unwrap_or(t0));
+        sp.finish(out.iter().map(|&(end, _)| end).max().unwrap_or(t));
         Ok(out)
     }
 
@@ -1047,7 +1316,7 @@ impl AggregateStore {
         self.poll_faults(t);
         let sp = self.trace.span(Layer::Store, "store.write_pages", t);
         sp.arg("file", file.0).arg("idx", idx as u64);
-        let t = self.mgr_rpc(t, client_node);
+        let t = self.slot_rpc(t, client_node, file, idx, MgrOp::Write)?;
         let end = self.write_pages_resolved(t, client_node, file, idx, updates)?;
         sp.finish(end);
         Ok(end)
@@ -1083,12 +1352,40 @@ impl AggregateStore {
         self.batched_writes.inc();
         let sp = self.trace.span(Layer::Store, "store.write_batch", t);
         sp.arg("entries", entries.len() as u64);
-        let t0 = self.mgr_rpc(t, client_node);
+
+        // Resolution RPC(s): one per owning shard in shard mode — writes
+        // are placement mutations and always reach the authoritative
+        // shard, no lease shortcut — issued concurrently from `t`; one
+        // serial manager RPC otherwise. `ready[i]` is when entry `i`'s
+        // resolution reply is in hand.
+        let ready: Vec<VTime> = if self.shards_installed() == 0 {
+            let t0 = self.mgr_rpc(t, client_node, MgrOp::Write);
+            vec![t0; entries.len()]
+        } else {
+            let owners: Vec<usize> = {
+                let shards = self.shards.lock();
+                let ss = shards.as_ref().expect("shard set installed");
+                entries
+                    .iter()
+                    .map(|e| ss.ring().owner_of_slot(e.file, e.idx))
+                    .collect()
+            };
+            let mut contacted: BTreeMap<usize, VTime> = BTreeMap::new();
+            for &owner in &owners {
+                contacted.entry(owner).or_insert(VTime::ZERO);
+            }
+            for (&shard, end) in contacted.iter_mut() {
+                *end = self.shard_rpc(t, client_node, shard, MgrOp::Write)?;
+            }
+            owners.iter().map(|o| contacted[o]).collect()
+        };
 
         // Group entries by the benefactor their bytes land on first (the
         // primary live home). Resolution here is advisory — it only
         // shapes chains; `write_pages_resolved` re-resolves
-        // authoritatively per entry.
+        // authoritatively per entry. Cursors start at ZERO and each entry
+        // starts at `max(cursor, ready[i])`, so a uniform `ready` yields
+        // exactly the original shared-`t0` schedule.
         let keys: Vec<Option<BenefactorId>> = {
             let mgr = self.mgr.lock();
             entries
@@ -1099,41 +1396,47 @@ impl AggregateStore {
         let mut groups: BTreeMap<BenefactorId, (VTime, Vec<usize>)> = BTreeMap::new();
         for (i, k) in keys.iter().enumerate() {
             if let Some(home) = k {
-                groups.entry(*home).or_insert((t0, Vec::new())).1.push(i);
+                groups
+                    .entry(*home)
+                    .or_insert((VTime::ZERO, Vec::new()))
+                    .1
+                    .push(i);
             }
         }
-        let mut ends: Vec<VTime> = vec![t0; entries.len()];
+        let mut ends: Vec<VTime> = ready.clone();
         loop {
             let next = groups
                 .iter()
                 .filter(|(_, (_, order))| !order.is_empty())
-                .min_by_key(|(home, (at, _))| (*at, **home))
+                .min_by_key(|(home, (at, order))| ((*at).max(ready[order[0]]), **home))
                 .map(|(&home, _)| home);
             let Some(home) = next else { break };
             let (at, order) = groups.get_mut(&home).expect("group exists");
             let i = order.remove(0);
+            let start = (*at).max(ready[i]);
             let e = &entries[i];
-            let esp = self.trace.span(Layer::Store, "store.write_pages", *at);
+            let esp = self.trace.span(Layer::Store, "store.write_pages", start);
             esp.arg("file", e.file.0).arg("idx", e.idx as u64);
-            let end = self.write_pages_resolved(*at, client_node, e.file, e.idx, e.updates)?;
+            let end = self.write_pages_resolved(start, client_node, e.file, e.idx, e.updates)?;
             esp.finish(end);
             *at = end;
             ends[i] = end;
         }
         // Entries with no live home at batch time (they error, or — for
-        // holes — allocate wherever space remains) run from t0.
+        // holes — allocate wherever space remains) run unchained from
+        // their resolution time.
         for (i, k) in keys.iter().enumerate() {
             if k.is_some() {
                 continue;
             }
             let e = &entries[i];
-            let esp = self.trace.span(Layer::Store, "store.write_pages", t0);
+            let esp = self.trace.span(Layer::Store, "store.write_pages", ready[i]);
             esp.arg("file", e.file.0).arg("idx", e.idx as u64);
-            let end = self.write_pages_resolved(t0, client_node, e.file, e.idx, e.updates)?;
+            let end = self.write_pages_resolved(ready[i], client_node, e.file, e.idx, e.updates)?;
             esp.finish(end);
             ends[i] = end;
         }
-        sp.finish(ends.iter().copied().max().unwrap_or(t0));
+        sp.finish(ends.iter().copied().max().unwrap_or(t));
         Ok(ends)
     }
 
@@ -1456,6 +1759,41 @@ impl AggregateStore {
         } else {
             self.benefactor_crashes.inc();
         }
+    }
+
+    /// Simulate a placement-shard failure or recovery (DESIGN.md §12).
+    /// A crash quarantines only the dead shard's keyspace: leases it
+    /// granted stay valid, so leased clients keep answering placement
+    /// locally, and every other shard is untouched. Recovery restarts
+    /// the shard with a cold lease table — every delegation it granted
+    /// before the crash is revoked and the placement epoch bumps, so no
+    /// client can keep serving resolutions the reborn shard no longer
+    /// vouches for. A no-op without an installed shard set.
+    pub fn set_shard_alive(&self, shard: usize, alive: bool) {
+        let mut guard = self.shards.lock();
+        let Some(ss) = guard.as_mut() else { return };
+        if ss.is_alive(shard) == alive {
+            return;
+        }
+        ss.set_alive(shard, alive);
+        drop(guard);
+        if alive {
+            self.revoke_shard_leases(shard);
+        }
+    }
+
+    /// Revoke every lease `shard` has granted and bump the placement
+    /// epoch. The pairing is load-bearing: the epoch bump is what makes
+    /// revoked clients stop trusting their `LocationCache`, so no stale
+    /// hit can survive a revoke (the `shardmgr_model` proptest pins
+    /// this). Returns the number of leases revoked.
+    pub fn revoke_shard_leases(&self, shard: usize) -> usize {
+        let n = match self.shards.lock().as_mut() {
+            Some(ss) => ss.revoke_shard(shard),
+            None => return 0,
+        };
+        self.mgr.lock().bump_placement_epoch();
+        n
     }
 
     /// One pass of the manager-side re-replication scanner: copy every
@@ -2217,6 +2555,343 @@ mod tests {
         assert_eq!(t_off, t_on, "verification is timing-neutral when clean");
         assert!(!keys_off, "knobs off: no integrity counters registered");
         assert!(keys_on, "verify on: integrity counters present");
+    }
+
+    // ----- sharded placement manager (DESIGN.md §12) ------------------------
+
+    /// `n` benefactors on nodes `1..=n` with `shards` placement-shard
+    /// ranks round-robin on those same nodes; client drives from `n+1`.
+    fn store_sharded(n: usize, shards: usize) -> (AggregateStore, StatsRegistry) {
+        let (store, stats) = store_n(n);
+        let nodes: Vec<usize> = (0..shards).map(|k| (k % n) + 1).collect();
+        store.install_shards(&nodes, 77);
+        (store, stats)
+    }
+
+    #[test]
+    fn per_op_rpc_counters_split_the_aggregate() {
+        let (store, stats) = store();
+        let f = make_file(&store, "/m", 2 * CHUNK); // create + fallocate
+        let page = vec![8u8; 4096];
+        let t = store
+            .write_pages(VTime::ZERO, 3, f, 0, &[(0, &page)])
+            .unwrap();
+        let (t, _) = store.fetch_chunk(t, 3, f, 0).unwrap();
+        let (_, found) = store.open(t, 3, "/m").unwrap();
+        assert_eq!(found, Some(f));
+        assert_eq!(stats.get("store.mgr_rpc_place"), 3);
+        assert_eq!(stats.get("store.mgr_rpc_write"), 1);
+        assert_eq!(stats.get("store.mgr_rpc_fetch"), 1);
+        assert_eq!(
+            stats.get("store.mgr_rpc_fetch")
+                + stats.get("store.mgr_rpc_write")
+                + stats.get("store.mgr_rpc_place"),
+            stats.get("store.mgr_rpcs"),
+            "the per-op split always totals the aggregate"
+        );
+    }
+
+    /// ISSUE 6 acceptance: with one shard co-located with the serial
+    /// manager's node, a mixed workload (batched writes, batched + serial
+    /// fetches through a `LocationCache`, namespace ops) is bit-identical
+    /// to the serial manager — same per-op virtual times, same shared
+    /// counters — and the lease counters only exist in shard mode.
+    #[test]
+    fn single_shard_matches_serial_manager_exactly() {
+        const SHARED: &[&str] = &[
+            "store.mgr_rpcs",
+            "store.mgr_rpc_fetch",
+            "store.mgr_rpc_write",
+            "store.mgr_rpc_place",
+            "store.loc_cache_hits",
+            "store.loc_cache_misses",
+            "store.loc_cache_invalidations",
+            "store.chunk_fetches",
+            "store.batched_fetches",
+            "store.batched_writes",
+            "store.zero_fills",
+            "net.bytes",
+            "net.messages",
+        ];
+        let run = |sharded: bool| -> (Vec<VTime>, Vec<u64>, bool) {
+            let stats = StatsRegistry::new();
+            let net = Network::new(4, NetConfig::default(), &stats);
+            let store = AggregateStore::new(StoreConfig::default(), net, &stats);
+            for (i, node) in [1usize, 2].iter().enumerate() {
+                let ssd = Ssd::new(&format!("b{i}.ssd"), INTEL_X25E, &stats);
+                store.add_benefactor(Benefactor::new(*node, ssd, mib(64), CHUNK));
+            }
+            if sharded {
+                store.install_shards(&[0], 77);
+            }
+            let cache = LocationCache::new(&stats);
+            let (t, f) = store.create_file(VTime::ZERO, 3, "/m").unwrap();
+            let t = store
+                .fallocate(
+                    t,
+                    3,
+                    f,
+                    4 * CHUNK,
+                    StripeSpec::all(),
+                    PlacementPolicy::RoundRobin,
+                )
+                .unwrap();
+            let page = vec![5u8; 4096];
+            let upd = [(0u64, page.as_slice())];
+            let batch = [
+                BatchWrite {
+                    file: f,
+                    idx: 0,
+                    updates: &upd,
+                },
+                BatchWrite {
+                    file: f,
+                    idx: 1,
+                    updates: &upd,
+                },
+                BatchWrite {
+                    file: f,
+                    idx: 2,
+                    updates: &upd,
+                },
+            ];
+            let mut times = Vec::new();
+            let ends = store.write_pages_batch(t, 3, &batch).unwrap();
+            let mut t = ends.iter().copied().max().unwrap();
+            times.extend(ends);
+            // Cold cache: one resolution RPC, then benefactor chains.
+            let r = store
+                .fetch_chunks(t, 3, &[(f, 0), (f, 1), (f, 2), (f, 3)], Some(&cache))
+                .unwrap();
+            t = r.iter().map(|&(e, _)| e).max().unwrap();
+            times.extend(r.iter().map(|&(e, _)| e));
+            // Warm cache (and, in shard mode, a held lease): no RPC.
+            let rpcs_before = stats.get("store.mgr_rpcs");
+            let r = store
+                .fetch_chunks(t, 3, &[(f, 0), (f, 2)], Some(&cache))
+                .unwrap();
+            assert_eq!(
+                stats.get("store.mgr_rpcs"),
+                rpcs_before,
+                "hot path skips the manager"
+            );
+            t = r.iter().map(|&(e, _)| e).max().unwrap();
+            times.extend(r.iter().map(|&(e, _)| e));
+            // Serial data + control plane for good measure.
+            let (t2, _) = store.fetch_chunk(t, 3, f, 1).unwrap();
+            let t3 = store.write_pages(t2, 3, f, 3, &[(0, &page)]).unwrap();
+            let (t4, found) = store.open(t3, 3, "/m").unwrap();
+            assert!(found.is_some());
+            times.extend([t2, t3, t4]);
+            let snap = stats.snapshot().values;
+            let shared: Vec<u64> = SHARED
+                .iter()
+                .map(|k| snap.get(*k).copied().unwrap_or(0))
+                .collect();
+            (times, shared, snap.contains_key("store.lease_grants"))
+        };
+        let (t_serial, c_serial, keys_serial) = run(false);
+        let (t_sharded, c_sharded, keys_sharded) = run(true);
+        assert_eq!(t_serial, t_sharded, "shards=1 is bit-identical");
+        assert_eq!(c_serial, c_sharded, "shared counters agree");
+        assert!(!keys_serial, "serial run registers no lease counters");
+        assert!(keys_sharded, "shard run exposes the lease counters");
+    }
+
+    #[test]
+    fn shard_rpcs_route_by_slot_owner_and_count_per_shard() {
+        let (store, stats) = store_sharded(2, 2);
+        let client = 3;
+        let (t, f) = store.create_file(VTime::ZERO, client, "/m").unwrap();
+        let mut t = store
+            .fallocate(
+                t,
+                client,
+                f,
+                8 * CHUNK,
+                StripeSpec::all(),
+                PlacementPolicy::RoundRobin,
+            )
+            .unwrap();
+        // Namespace ops went to the root shard.
+        assert_eq!(stats.get("store.shard_rpcs.s0"), 2);
+        assert_eq!(stats.get("store.mgr_rpc_place"), 2);
+        let before = [
+            stats.get("store.shard_rpcs.s0"),
+            stats.get("store.shard_rpcs.s1"),
+        ];
+        let mut expect = [0u64, 0u64];
+        let page = vec![9u8; 4096];
+        for idx in 0..8 {
+            expect[store.shard_of_slot(f, idx).unwrap()] += 2; // write + fetch
+            t = store.write_pages(t, client, f, idx, &[(0, &page)]).unwrap();
+            let (t2, _) = store.fetch_chunk(t, client, f, idx).unwrap();
+            t = t2;
+        }
+        assert!(
+            expect[0] > 0 && expect[1] > 0,
+            "both shards own some of the keyspace"
+        );
+        assert_eq!(stats.get("store.shard_rpcs.s0") - before[0], expect[0]);
+        assert_eq!(stats.get("store.shard_rpcs.s1") - before[1], expect[1]);
+        assert_eq!(stats.get("store.mgr_rpc_fetch"), 8);
+        assert_eq!(stats.get("store.mgr_rpc_write"), 8);
+        assert_eq!(stats.get("store.mgr_rpcs"), 2 + 16);
+    }
+
+    #[test]
+    fn shard_crash_quarantines_only_its_keyspace() {
+        let (store, stats) = store_sharded(2, 2);
+        let client = 3;
+        let (t, f) = store.create_file(VTime::ZERO, client, "/m").unwrap();
+        let mut t = store
+            .fallocate(
+                t,
+                client,
+                f,
+                16 * CHUNK,
+                StripeSpec::all(),
+                PlacementPolicy::RoundRobin,
+            )
+            .unwrap();
+        let page = vec![2u8; 4096];
+        for idx in 0..16 {
+            t = store.write_pages(t, client, f, idx, &[(0, &page)]).unwrap();
+        }
+        let owned_by = |s: usize| {
+            (0..16)
+                .find(|&i| store.shard_of_slot(f, i) == Some(s))
+                .expect("shard owns a slot")
+        };
+        let dead_slot = owned_by(1);
+        let live_slot = owned_by(0);
+        store.set_shard_alive(1, false);
+        // The dead shard's keyspace errors once the retry window runs out…
+        let err = store.fetch_chunk(t, client, f, dead_slot).unwrap_err();
+        assert_eq!(err, StoreError::ShardDown(1));
+        let err = store
+            .write_pages(t, client, f, dead_slot, &[(0, &page)])
+            .unwrap_err();
+        assert_eq!(err, StoreError::ShardDown(1));
+        // …while the other shard and the namespace keep serving.
+        let (t2, _) = store.fetch_chunk(t, client, f, live_slot).unwrap();
+        let (t3, found) = store.open(t2, client, "/m").unwrap();
+        assert_eq!(found, Some(f));
+        // The crash alone revokes nothing: delegations ride through.
+        assert_eq!(stats.get("store.lease_revokes"), 0);
+        // Recovery restores service and revokes the shard's delegations.
+        store.set_shard_alive(1, true);
+        assert!(stats.get("store.lease_revokes") > 0);
+        store.fetch_chunk(t3, client, f, dead_slot).unwrap();
+    }
+
+    #[test]
+    fn leased_clients_ride_through_a_shard_crash() {
+        let (store, stats) = store_sharded(2, 2);
+        let client = 3;
+        let (t, f) = store.create_file(VTime::ZERO, client, "/m").unwrap();
+        let t = store
+            .fallocate(
+                t,
+                client,
+                f,
+                8 * CHUNK,
+                StripeSpec::all(),
+                PlacementPolicy::RoundRobin,
+            )
+            .unwrap();
+        let cache = LocationCache::new(&stats);
+        let page = vec![4u8; 4096];
+        let upd = [(0u64, page.as_slice())];
+        let batch: Vec<BatchWrite> = (0..8)
+            .map(|idx| BatchWrite {
+                file: f,
+                idx,
+                updates: &upd,
+            })
+            .collect();
+        let ends = store.write_pages_batch(t, client, &batch).unwrap();
+        let t = ends.iter().copied().max().unwrap();
+        let targets: Vec<(FileId, usize)> = (0..8).map(|i| (f, i)).collect();
+        let r = store
+            .fetch_chunks(t, client, &targets, Some(&cache))
+            .unwrap();
+        let t = r.iter().map(|&(e, _)| e).max().unwrap();
+        // Both shards have delegated to this client.
+        assert_eq!(store.shard_leases(0), 1);
+        assert_eq!(store.shard_leases(1), 1);
+        // Kill a shard. The leased client keeps resolving placement
+        // locally: the same batch re-fetches without a single manager
+        // round-trip, dead shard or not.
+        store.set_shard_alive(1, false);
+        let rpcs = stats.get("store.mgr_rpcs");
+        let hits = stats.get("store.loc_cache_hits");
+        let r = store
+            .fetch_chunks(t, client, &targets, Some(&cache))
+            .unwrap();
+        let t = r.iter().map(|&(e, _)| e).max().unwrap();
+        assert_eq!(
+            stats.get("store.mgr_rpcs"),
+            rpcs,
+            "no RPC on the leased hot path"
+        );
+        assert_eq!(stats.get("store.loc_cache_hits"), hits + 8);
+        // Recovery revokes: the epoch bump drops the cache, and the
+        // re-resolution goes back to the (now live) shards.
+        store.set_shard_alive(1, true);
+        assert!(stats.get("store.lease_revokes") > 0);
+        let inv = stats.get("store.loc_cache_invalidations");
+        let r = store
+            .fetch_chunks(t, client, &targets, Some(&cache))
+            .unwrap();
+        assert!(r.iter().all(|(_, p)| matches!(p, ChunkPayload::Data(_))));
+        assert_eq!(stats.get("store.loc_cache_invalidations"), inv + 1);
+        assert!(
+            stats.get("store.mgr_rpcs") > rpcs,
+            "revocation forces re-resolution"
+        );
+    }
+
+    #[test]
+    fn shard_down_retry_waits_out_a_scheduled_recovery() {
+        let (store, stats) = store_sharded(2, 2);
+        let client = 3;
+        let (t, f) = store.create_file(VTime::ZERO, client, "/m").unwrap();
+        let mut t = store
+            .fallocate(
+                t,
+                client,
+                f,
+                8 * CHUNK,
+                StripeSpec::all(),
+                PlacementPolicy::RoundRobin,
+            )
+            .unwrap();
+        let page = vec![6u8; 4096];
+        for idx in 0..8 {
+            t = store.write_pages(t, client, f, idx, &[(0, &page)]).unwrap();
+        }
+        let slot = (0..8)
+            .find(|&i| store.shard_of_slot(f, i) == Some(1))
+            .expect("shard 1 owns a slot");
+        store.set_shard_alive(1, false);
+        store.attach_faults(
+            faults::FaultPlanBuilder::new(7)
+                .shard_recover(t + store.config().retry_backoff, 1)
+                .build(),
+        );
+        let (t2, payload) = store.fetch_chunk(t, client, f, slot).unwrap();
+        assert!(matches!(payload, ChunkPayload::Data(_)));
+        assert!(
+            t2 >= t + store.config().retry_backoff,
+            "the read waited out the outage"
+        );
+        assert!(store.shard_alive(1));
+        assert_eq!(
+            stats.get("store.lease_revokes"),
+            1,
+            "recovery revoked the stale delegation"
+        );
     }
 
     #[test]

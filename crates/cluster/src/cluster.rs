@@ -96,6 +96,21 @@ impl Cluster {
                 store_cfg.chunk_size,
             ));
         }
+        // Sharded placement manager (DESIGN.md §12): shard ranks live on
+        // benefactor ("fat") nodes, round-robin, shard 0 co-located with
+        // the serial manager's node so shards=1 reproduces its transfers
+        // exactly. The ring seed is fixed — ownership must replay
+        // bit-identically.
+        if store_cfg.manager_shards > 0 {
+            assert!(
+                !benefactor_nodes.is_empty(),
+                "manager shards need benefactor nodes to run on"
+            );
+            let shard_nodes: Vec<usize> = (0..store_cfg.manager_shards)
+                .map(|k| benefactor_nodes[k % benefactor_nodes.len()])
+                .collect();
+            store.install_shards(&shard_nodes, chunkstore::DEFAULT_RING_SEED);
+        }
         let drams = (0..spec.nodes)
             .map(|n| {
                 Dram::new(
@@ -174,6 +189,30 @@ mod tests {
         let c = Cluster::new(ClusterSpec::hal().scaled(64), &[]);
         assert_eq!(c.store.manager().benefactor_count(), 0);
         assert_eq!(c.dram(0).capacity(), c.spec.dram_per_node);
+    }
+
+    #[test]
+    fn manager_shards_knob_installs_ranks_on_benefactor_nodes() {
+        let cfg = StoreConfig {
+            manager_shards: 4,
+            ..StoreConfig::default()
+        };
+        let c = Cluster::with_configs(
+            ClusterSpec::hal().scaled(64),
+            &[0, 1],
+            FuseConfig::default(),
+            cfg,
+        );
+        assert_eq!(c.store.shards_installed(), 4);
+        // Round-robin over the benefactor nodes; shard 0 shares the
+        // serial manager's node.
+        assert_eq!(c.net.endpoint_node("shardmgr/0"), Some(0));
+        assert_eq!(c.net.endpoint_node("shardmgr/1"), Some(1));
+        assert_eq!(c.net.endpoint_node("shardmgr/2"), Some(0));
+        assert_eq!(c.net.endpoint_node("shardmgr/3"), Some(1));
+        // Defaults-off: a plain build installs nothing.
+        let plain = Cluster::new(ClusterSpec::hal().scaled(64), &[0, 1]);
+        assert_eq!(plain.store.shards_installed(), 0);
     }
 
     #[test]

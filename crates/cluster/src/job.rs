@@ -46,6 +46,10 @@ pub struct JobConfig {
     /// Replica degree for every allocation the job makes (1 = unreplicated,
     /// the paper's baseline; 2 survives a single benefactor failure).
     pub replicas: usize,
+    /// Placement-manager shard ranks (DESIGN.md §12). `0` — the default —
+    /// is the serial single-manager store; the cluster must be built with
+    /// a matching `StoreConfig::manager_shards`.
+    pub manager_shards: usize,
 }
 
 impl JobConfig {
@@ -56,6 +60,7 @@ impl JobConfig {
             benefactors: 0,
             placement: SsdPlacement::None,
             replicas: 1,
+            manager_shards: 0,
         }
     }
 
@@ -68,6 +73,7 @@ impl JobConfig {
             benefactors: z,
             placement: SsdPlacement::Local,
             replicas: 1,
+            manager_shards: 0,
         }
     }
 
@@ -80,6 +86,7 @@ impl JobConfig {
             benefactors: z,
             placement: SsdPlacement::Remote,
             replicas: 1,
+            manager_shards: 0,
         }
     }
 
@@ -87,6 +94,14 @@ impl JobConfig {
     pub fn with_replicas(mut self, k: usize) -> Self {
         assert!(k >= 1, "at least one copy");
         self.replicas = k;
+        self
+    }
+
+    /// Run the placement manager sharded `n` ways (DESIGN.md §12). The
+    /// cluster this job runs on must be built with the same
+    /// `StoreConfig::manager_shards` so the shard ranks exist.
+    pub fn with_manager_shards(mut self, n: usize) -> Self {
+        self.manager_shards = n;
         self
     }
 
@@ -136,8 +151,13 @@ impl JobConfig {
                 self.procs_per_node, self.compute_nodes, self.benefactors
             ),
         };
-        if self.replicas > 1 {
+        let base = if self.replicas > 1 {
             format!("{base}x{}", self.replicas)
+        } else {
+            base
+        };
+        if self.manager_shards > 0 {
+            format!("{base}/s{}", self.manager_shards)
         } else {
             base
         }
@@ -248,6 +268,11 @@ where
         cfg.procs_per_node <= cluster.spec.cores_per_node,
         "more processes per node than cores"
     );
+    assert_eq!(
+        cluster.store.shards_installed(),
+        cfg.manager_shards,
+        "cluster manager sharding does not match the job configuration"
+    );
 
     let n = cfg.ranks();
     let node_of_rank: Vec<usize> = (0..n).map(|r| cfg.node_of_rank(r)).collect();
@@ -310,6 +335,10 @@ mod tests {
         assert_eq!(JobConfig::dram_only(2, 16).label(), "DRAM(2:16:0)");
         assert_eq!(JobConfig::local(8, 16, 16).label(), "L-SSD(8:16:16)");
         assert_eq!(JobConfig::remote(8, 8, 4).label(), "R-SSD(8:8:4)");
+        assert_eq!(
+            JobConfig::local(8, 16, 16).with_manager_shards(4).label(),
+            "L-SSD(8:16:16)/s4"
+        );
     }
 
     #[test]
@@ -523,6 +552,56 @@ mod tests {
             outputs.windows(2).all(|w| w[0] == w[1]),
             "every rank read the same bytes"
         );
+    }
+
+    #[test]
+    fn sharded_job_plumbs_through_and_stays_deterministic() {
+        // The sharding knobs flow from `JobConfig::with_manager_shards`
+        // through `StoreConfig` into the cluster build: a shared-variable
+        // job on a 2-shard store produces the same bytes as the serial
+        // manager, exercises leases, and two invocations reproduce
+        // identical virtual-time numbers.
+        let run = |shards: usize| {
+            let cfg = JobConfig::local(2, 2, 2).with_manager_shards(shards);
+            let store_cfg = chunkstore::StoreConfig {
+                manager_shards: shards,
+                ..chunkstore::StoreConfig::default()
+            };
+            let cluster = Cluster::with_configs(
+                ClusterSpec::hal().scaled(256),
+                &cfg.benefactor_nodes(),
+                fusemm::FuseConfig::default(),
+                store_cfg,
+            );
+            let result = run_job(&cluster, &cfg, Calibration::default(), |ctx, env| {
+                let v = env.client.ssdmalloc_shared::<u64>(ctx, "v", 4096).unwrap();
+                if env.rank == 0 {
+                    for i in 0..64 {
+                        v.set(ctx, i, 5 * i as u64).unwrap();
+                    }
+                    v.flush(ctx).unwrap();
+                }
+                env.comm.barrier(ctx, env.rank);
+                let mut sum = 0u64;
+                for i in 0..64 {
+                    sum += v.get(ctx, i).unwrap();
+                }
+                sum
+            });
+            (
+                result.outputs.clone(),
+                result.makespan(),
+                cluster.stats.get("store.lease_grants"),
+            )
+        };
+        let (serial, _, g0) = run(0);
+        assert_eq!(g0, 0, "no shard set, no leases");
+        let a = run(2);
+        let b = run(2);
+        assert_eq!(a, b, "sharded job reproduces exactly");
+        let (sharded, _, grants) = a;
+        assert_eq!(serial, sharded, "sharding must not change any result");
+        assert!(grants > 0, "shard RPCs granted delegation leases");
     }
 
     #[test]

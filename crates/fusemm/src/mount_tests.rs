@@ -175,7 +175,7 @@ fn o_rdwr_visibility_across_mounts() {
     let mut t = m1.write(VTime::ZERO, f, 0, &data).unwrap();
     t = m1.flush_file(t, f).unwrap();
 
-    let (t2, found) = m2.open(t, "/shared");
+    let (t2, found) = m2.open(t, "/shared").unwrap();
     assert_eq!(found, Some(f));
     let mut out = vec![0u8; 1000];
     m2.read(t2, f, 0, &mut out).unwrap();

@@ -16,6 +16,7 @@
 use obs::{Layer, TraceRecorder};
 use parking_lot::Mutex;
 use simcore::{Bandwidth, Counter, Resource, StatsRegistry, VTime};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Interconnect parameters.
@@ -100,6 +101,11 @@ pub struct Network {
     nics: Vec<Nic>,
     /// Per-node fault-injection state, shared across clones of the fabric.
     faults: Arc<Mutex<Vec<LinkFault>>>,
+    /// Named RPC endpoints (service name → hosting node), shared across
+    /// clones. Services that can live on *any* node — the placement
+    /// shards, for one — register here so clients address them by name
+    /// instead of baking node numbers into their configuration.
+    endpoints: Arc<Mutex<HashMap<String, usize>>>,
     bytes: Counter,
     messages: Counter,
     trace: TraceRecorder,
@@ -116,6 +122,7 @@ impl Network {
                 })
                 .collect(),
             faults: Arc::new(Mutex::new(vec![LinkFault::default(); nodes])),
+            endpoints: Arc::new(Mutex::new(HashMap::new())),
             bytes: stats.counter("net.bytes"),
             messages: stats.counter("net.messages"),
             trace: TraceRecorder::disabled(),
@@ -127,6 +134,17 @@ impl Network {
     pub fn with_tracer(mut self, trace: TraceRecorder) -> Self {
         self.trace = trace;
         self
+    }
+
+    /// Register (or re-home) a named RPC endpoint on `node`.
+    pub fn register_endpoint(&self, name: &str, node: usize) {
+        assert!(node < self.nics.len(), "endpoint on unknown node {node}");
+        self.endpoints.lock().insert(name.to_string(), node);
+    }
+
+    /// The node hosting a named endpoint, if registered.
+    pub fn endpoint_node(&self, name: &str) -> Option<usize> {
+        self.endpoints.lock().get(name).copied()
     }
 
     /// Install a fault on `node`'s attachment (replaces any prior fault).
@@ -270,6 +288,17 @@ mod tests {
         let d = net.transfer_at(VTime::ZERO, 0, 1, 250_000_000);
         assert_eq!(d.sent, VTime::from_secs(1));
         assert_eq!(d.arrived, VTime::from_secs(1) + VTime::from_micros(50));
+    }
+
+    #[test]
+    fn endpoints_register_and_rehome_across_clones() {
+        let net = net(3);
+        assert_eq!(net.endpoint_node("shardmgr/0"), None);
+        net.register_endpoint("shardmgr/0", 1);
+        let clone = net.clone();
+        assert_eq!(clone.endpoint_node("shardmgr/0"), Some(1));
+        clone.register_endpoint("shardmgr/0", 2);
+        assert_eq!(net.endpoint_node("shardmgr/0"), Some(2));
     }
 
     #[test]

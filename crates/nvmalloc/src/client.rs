@@ -172,7 +172,7 @@ impl NvmClient {
                     file
                 }
                 Err(StoreError::FileExists(_)) => {
-                    let (t, found) = self.mount.open(ctx.now(), &name);
+                    let (t, found) = self.mount.open(ctx.now(), &name)?;
                     ctx.advance_to(t);
                     let file = found.ok_or(StoreError::NoSuchFile)?;
                     let existing = self.mount.file_size(file)?;
@@ -217,7 +217,7 @@ impl NvmClient {
     pub fn open_var<T: Pod>(&self, ctx: &mut ProcCtx, key: &str) -> Result<NvmVec<T>> {
         let name = format!("/shared/{key}");
         ctx.yield_until_min();
-        let (t, found) = self.mount.open(ctx.now(), &name);
+        let (t, found) = self.mount.open(ctx.now(), &name)?;
         ctx.advance_to(t);
         let file = found.ok_or(StoreError::NoSuchFile)?;
         let bytes = self.mount.file_size(file)?;
@@ -239,7 +239,7 @@ impl NvmClient {
     pub fn unlink_shared(&self, ctx: &mut ProcCtx, key: &str) -> Result<()> {
         let name = format!("/shared/{key}");
         ctx.yield_until_min();
-        let (t, found) = self.mount.open(ctx.now(), &name);
+        let (t, found) = self.mount.open(ctx.now(), &name)?;
         ctx.advance_to(t);
         let file = found.ok_or(StoreError::NoSuchFile)?;
         ctx.yield_until_min();

@@ -77,4 +77,16 @@ for c in store.crc_mismatches store.scrub_passes store.scrub_repairs; do
         || { echo "FAIL: counter $c missing from the obs footer"; exit 1; }
 done
 
+echo "==> fan_in smoke (shards=1 must be bit-identical to the serial manager)"
+BENCH_JSON_DIR="$smoke_dir" cargo bench -q -p bench --bench fan_in -- --smoke
+diff -u crates/bench/expected/BENCH_fan_in_serial.json \
+    "$smoke_dir/BENCH_fan_in_serial.json"
+grep -q '"shards=1 bit-identical to the serial manager": true' \
+    "$smoke_dir/BENCH_fan_in_serial.json" \
+    || { echo "FAIL: sharded manager diverged from the serial baseline"; exit 1; }
+if ! grep -Eq '"store.loc_cache_hits": [1-9]' "$smoke_dir/BENCH_fan_in_serial.json"; then
+    echo "FAIL: leased hot path never hit the location cache"
+    exit 1
+fi
+
 echo "All checks passed."
