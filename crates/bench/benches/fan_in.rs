@@ -106,6 +106,7 @@ struct SweepRow {
     loc_hits: u64,
     lease_grants: u64,
     lease_renewals: u64,
+    net_bytes: u64,
 }
 
 /// One traced run of the 256-rank fan-in job at a given shard count
@@ -138,6 +139,7 @@ fn sweep_run(shards: usize) -> SweepRow {
         loc_hits: s.get("store.loc_cache_hits"),
         lease_grants: s.get("store.lease_grants"),
         lease_renewals: s.get("store.lease_renewals"),
+        net_bytes: s.get("net.bytes"),
     }
 }
 
@@ -157,7 +159,7 @@ const SMOKE_COUNTERS: [&str; 9] = [
 
 /// The CI-sized serial workload: one rank, one benefactor, one (or zero)
 /// shards — no concurrent RPCs, so `shards=1` must be bit-identical.
-fn smoke_run(shards: usize) -> (Vec<u64>, VTime, Vec<u64>) {
+fn smoke_run(shards: usize) -> (Vec<u64>, VTime, Vec<u64>, u64) {
     let cfg = JobConfig::local(1, 1, 1).with_manager_shards(shards);
     let cluster = Cluster::with_configs(
         ClusterSpec::hal().scaled(SCALE),
@@ -170,8 +172,12 @@ fn smoke_run(shards: usize) -> (Vec<u64>, VTime, Vec<u64>) {
         .iter()
         .map(|k| cluster.stats.get(k))
         .collect();
+    // host-speed volume: the co-located smoke moves no *network* bytes,
+    // so count the store's client-facing payload instead
+    let vol =
+        cluster.stats.get("store.bytes_to_clients") + cluster.stats.get("store.bytes_from_clients");
     let makespan = result.makespan();
-    (result.outputs, makespan, counters)
+    (result.outputs, makespan, counters, vol)
 }
 
 fn main() {
@@ -182,11 +188,12 @@ fn main() {
     );
 
     // ----- serial bit-identity (always runs; this is the CI gate) -------
-    let (out0, span0, counters0) = smoke_run(0);
-    let (out1, span1, counters1) = smoke_run(1);
+    let (out0, span0, counters0, vol0) = smoke_run(0);
+    let (out1, span1, counters1, vol1) = smoke_run(1);
     let identical = out0 == out1 && span0 == span1 && counters0 == counters1;
 
     let mut serial = JsonReport::new("fan_in_serial");
+    serial.host_bytes(vol0 + vol1); // client-facing payload, both runs
     serial
         .config("scale", SCALE)
         .config("ranks", 1usize)
@@ -205,6 +212,7 @@ fn main() {
     if smoke {
         println!("  [smoke] serial bit-identity gate only (1 rank, 1 benefactor)\n");
         let mut report = JsonReport::new("fan_in");
+        report.host_bytes(vol0 + vol1);
         report
             .config("smoke", true)
             .config("scale", SCALE)
@@ -246,6 +254,7 @@ fn main() {
     println!();
 
     let mut report = JsonReport::new("fan_in");
+    report.host_bytes(rows.iter().map(|r| r.net_bytes).sum::<u64>());
     report
         .config("smoke", false)
         .config("scale", SCALE)

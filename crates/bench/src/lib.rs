@@ -71,6 +71,7 @@ pub fn store_for(cfg: &JobConfig) -> chunkstore::StoreConfig {
 
 /// Print the standard experiment header (testbed + experiment id).
 pub fn header(experiment: &str, paper_ref: &str) {
+    let _ = process_epoch(); // pin the host-speed epoch before any work
     println!("{}", "=".repeat(74));
     println!("{experiment}  —  reproduces {paper_ref}");
     println!("{}", "-".repeat(74));
@@ -346,12 +347,91 @@ impl From<VTime> for Json {
     }
 }
 
+/// Wall-clock throughput instrumentation (ISSUE 7): how many simulated
+/// bytes and events the simulator itself pushes per *host* second. Every
+/// [`JsonReport`] carries one from construction to `emit()`, so each
+/// `BENCH_<name>.json` gets a `host` footer; `bench micro --host-speed`
+/// runs a dedicated workload over a known simulated volume and check.sh
+/// gates its rate against a committed floor.
+///
+/// Host wall-clock is inherently nondeterministic, so the footer is
+/// emitted as a self-contained flat block that the expectation diffs in
+/// check.sh strip before comparing.
+pub struct HostSpeed {
+    started: std::time::Instant,
+    sim_bytes: u64,
+    sim_events: u64,
+}
+
+/// The process-wide wall-clock epoch, pinned the first time anything asks
+/// (the [`header`] call at the top of every bench target). Reports built
+/// after their workload ran still get a truthful host_seconds this way.
+fn process_epoch() -> std::time::Instant {
+    static EPOCH: std::sync::OnceLock<std::time::Instant> = std::sync::OnceLock::new();
+    *EPOCH.get_or_init(std::time::Instant::now)
+}
+
+impl HostSpeed {
+    /// Measure from this call (scoped workloads, e.g. `micro --host-speed`).
+    pub fn start() -> Self {
+        HostSpeed {
+            started: std::time::Instant::now(),
+            sim_bytes: 0,
+            sim_events: 0,
+        }
+    }
+
+    /// Measure from the process epoch (whole-bench wall clock).
+    pub fn since_process_start() -> Self {
+        HostSpeed {
+            started: process_epoch(),
+            sim_bytes: 0,
+            sim_events: 0,
+        }
+    }
+
+    /// Account simulated payload bytes moved (network-level).
+    pub fn add_bytes(&mut self, bytes: u64) {
+        self.sim_bytes += bytes;
+    }
+
+    /// Account simulated scheduler events (context switches etc.).
+    pub fn add_events(&mut self, n: u64) {
+        self.sim_events += n;
+    }
+
+    /// Host seconds elapsed since construction.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// The flat `host` footer block. Rates are integers so shell gates
+    /// can compare them without floating-point parsing.
+    pub fn footer(&self) -> Json {
+        let secs = self.elapsed_seconds().max(1e-9);
+        let mut h = Json::obj();
+        h.set("host_seconds", secs);
+        h.set("sim_bytes", self.sim_bytes);
+        h.set("sim_events", self.sim_events);
+        h.set(
+            "bytes_per_host_second",
+            (self.sim_bytes as f64 / secs) as u64,
+        );
+        h.set(
+            "events_per_host_second",
+            (self.sim_events as f64 / secs) as u64,
+        );
+        h
+    }
+}
+
 /// The standard machine-readable report every bench target emits next to
 /// its printed tables: experiment name, configuration, virtual times,
 /// counters of interest, shape-check verdicts, and the store-health
 /// footer.
 pub struct JsonReport {
     name: String,
+    host: HostSpeed,
     config: Json,
     times: Json,
     counters: Json,
@@ -364,6 +444,7 @@ impl JsonReport {
     pub fn new(name: &str) -> Self {
         JsonReport {
             name: name.to_string(),
+            host: HostSpeed::since_process_start(),
             config: Json::obj(),
             times: Json::obj(),
             counters: Json::obj(),
@@ -371,6 +452,19 @@ impl JsonReport {
             health: Json::Null,
             obs: Json::Null,
         }
+    }
+
+    /// Account simulated bytes toward the host-speed footer (for targets
+    /// that never call [`Self::health_from`]).
+    pub fn host_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.host.add_bytes(bytes);
+        self
+    }
+
+    /// Account simulated events toward the host-speed footer.
+    pub fn host_events(&mut self, n: u64) -> &mut Self {
+        self.host.add_events(n);
+        self
     }
 
     /// Record a configuration fact (scale, sizes, flags, …).
@@ -471,6 +565,10 @@ impl JsonReport {
         if snap.contains_key("store.lease_grants") {
             h.set("manager_shards", cluster.store.shards_installed() as u64);
         }
+        // Approximate simulated volume for the host footer: total network
+        // payload this cluster moved (accumulates across clusters for
+        // multi-run ablations).
+        self.host.add_bytes(s.get("net.bytes"));
         self.health = h;
         self
     }
@@ -554,6 +652,10 @@ impl JsonReport {
     pub fn emit(&self) {
         let mut root = Json::obj();
         root.set("experiment", self.name.as_str());
+        // Host wall-clock footer right after the experiment key, as a
+        // flat block, so expectation diffs can strip exactly these lines
+        // (scripts/check.sh `strip_host`).
+        root.set("host", self.host.footer());
         root.set("config", self.config.clone());
         root.set("times", self.times.clone());
         root.set("counters", self.counters.clone());

@@ -6,6 +6,7 @@
 //! the manager's reservation protocol: a `posix_fallocate` on a striped
 //! file reserves whole chunk slots here before any data moves.
 
+use crate::bitalloc::BitAlloc;
 use crate::ids::ChunkId;
 use devices::Ssd;
 use simcore::rng::child_seed;
@@ -13,6 +14,12 @@ use simcore::{Grant, VTime};
 use std::collections::HashMap;
 
 /// One benefactor's state: its SSD, its chunk objects and its space books.
+///
+/// Space accounting is a two-level bitmap tree ([`BitAlloc`]) over the
+/// benefactor's chunk slots: every reservation and every materialized
+/// chunk owns exactly one slot bit. Free space is the allocator's O(1)
+/// folded counter, and the whole allocation state is recoverable from
+/// the leaf bitmap alone (DESIGN.md §13).
 #[derive(Debug)]
 pub struct Benefactor {
     /// Cluster node hosting this benefactor (for network routing).
@@ -21,10 +28,12 @@ pub struct Benefactor {
     ssd: Ssd,
     /// Contributed capacity in bytes (≤ the SSD's size).
     capacity: u64,
-    /// Chunk slots reserved by fallocate but not yet materialized.
-    reserved_slots: u64,
-    /// Materialized chunks currently stored.
-    chunks: HashMap<ChunkId, Box<[u8]>>,
+    /// Slot allocator: one bit per chunk-sized slot of `capacity`.
+    slots: BitAlloc,
+    /// Slots reserved by fallocate but not yet materialized (LIFO).
+    reserved: Vec<usize>,
+    /// Materialized chunks currently stored, each bound to its slot.
+    chunks: HashMap<ChunkId, (usize, Box<[u8]>)>,
     alive: bool,
     /// Excluded from placement by the scrub daemon (DESIGN.md §11):
     /// existing copies stay readable and repairable-from, but no new
@@ -47,7 +56,8 @@ impl Benefactor {
             node,
             ssd,
             capacity,
-            reserved_slots: 0,
+            slots: BitAlloc::new((capacity / chunk_size) as usize),
+            reserved: Vec::new(),
             chunks: HashMap::new(),
             alive: true,
             quarantined: false,
@@ -68,7 +78,10 @@ impl Benefactor {
     }
 
     /// Take the benefactor offline (simulated failure / decommission).
-    pub fn set_alive(&mut self, alive: bool) {
+    ///
+    /// Crate-internal: external callers go through `Manager::set_alive`,
+    /// which also maintains the incremental alive/placeable sets.
+    pub(crate) fn set_alive(&mut self, alive: bool) {
         self.alive = alive;
     }
 
@@ -77,7 +90,8 @@ impl Benefactor {
         self.quarantined
     }
 
-    pub fn set_quarantined(&mut self, quarantined: bool) {
+    /// Crate-internal: external callers go through `Manager::set_quarantined`.
+    pub(crate) fn set_quarantined(&mut self, quarantined: bool) {
         self.quarantined = quarantined;
     }
 
@@ -106,7 +120,7 @@ impl Benefactor {
     /// virtual time is charged — silent corruption is free by definition.
     pub fn corrupt_chunk(&mut self, id: ChunkId, offset: u64) -> bool {
         match self.chunks.get_mut(&id) {
-            Some(data) => {
+            Some((_, data)) => {
                 let at = (offset % self.chunk_size) as usize;
                 data[at] ^= 0xFF;
                 true
@@ -134,35 +148,50 @@ impl Benefactor {
     }
 
     /// Bytes of capacity consumed by reservations + materialized chunks.
+    /// O(1): the allocator's folded counter.
     pub fn used(&self) -> u64 {
-        (self.reserved_slots + self.chunks.len() as u64) * self.chunk_size
+        self.slots.allocated() as u64 * self.chunk_size
     }
 
+    /// O(1): free slots × chunk size.
     pub fn free(&self) -> u64 {
-        self.capacity - self.used().min(self.capacity)
+        self.slots.free_count() as u64 * self.chunk_size
     }
 
     pub fn chunk_count(&self) -> usize {
         self.chunks.len()
     }
 
+    /// The slot allocator itself (read-only; for consistency checks).
+    pub fn slot_allocator(&self) -> &BitAlloc {
+        &self.slots
+    }
+
     /// Reserve `slots` chunk slots; the manager has already verified space.
     pub(crate) fn reserve_slots(&mut self, slots: u64) {
-        self.reserved_slots += slots;
-        debug_assert!(self.used() <= self.capacity);
+        for _ in 0..slots {
+            let s = self.slots.alloc().expect("reservation beyond capacity");
+            self.reserved.push(s);
+        }
     }
 
     pub(crate) fn release_slots(&mut self, slots: u64) {
-        assert!(self.reserved_slots >= slots, "slot accounting underflow");
-        self.reserved_slots -= slots;
+        assert!(
+            self.reserved.len() as u64 >= slots,
+            "slot accounting underflow"
+        );
+        for _ in 0..slots {
+            let s = self.reserved.pop().unwrap();
+            self.slots.release(s);
+        }
     }
 
     /// Whether a chunk slot can be converted or newly allocated right now.
     pub(crate) fn can_allocate_chunk(&self, consumes_reservation: bool) -> bool {
         if consumes_reservation {
-            self.reserved_slots > 0
+            !self.reserved.is_empty()
         } else {
-            self.used() + self.chunk_size <= self.capacity
+            self.slots.free_count() > 0
         }
     }
 
@@ -177,9 +206,13 @@ impl Benefactor {
         consumes_reservation: bool,
     ) -> Grant {
         debug_assert_eq!(data.len() as u64, self.chunk_size);
-        if consumes_reservation {
-            self.release_slots(1);
-        }
+        // A materialized chunk owns one slot bit: either the reservation's
+        // (handed over here) or a freshly allocated one.
+        let slot = if consumes_reservation {
+            self.reserved.pop().expect("slot accounting underflow")
+        } else {
+            self.slots.alloc().expect("chunk store over capacity")
+        };
         if self.torn_armed {
             // Torn write on a fresh materialization: the tail of the chunk
             // never reaches the media, leaving the pre-image (zeros).
@@ -187,7 +220,7 @@ impl Benefactor {
             let half = data.len() / 2;
             data[half..].fill(0);
         }
-        let prev = self.chunks.insert(id, data);
+        let prev = self.chunks.insert(id, (slot, data));
         assert!(prev.is_none(), "chunk {id} stored twice");
         self.degrade_after_write(id);
         self.ssd.write_at(t, payload_bytes)
@@ -202,7 +235,7 @@ impl Benefactor {
     ) -> Grant {
         let torn = self.torn_armed;
         self.torn_armed = false;
-        let chunk = self.chunks.get_mut(&id).expect("update of missing chunk");
+        let (_, chunk) = self.chunks.get_mut(&id).expect("update of missing chunk");
         let mut bytes = 0u64;
         for (off, data) in updates {
             let off = *off as usize;
@@ -219,20 +252,21 @@ impl Benefactor {
 
     /// Read a whole chunk, charging the SSD.
     pub(crate) fn read_chunk(&self, t: VTime, id: ChunkId) -> (Grant, Box<[u8]>) {
-        let data = self.chunks.get(&id).expect("read of missing chunk").clone();
+        let (_, data) = self.chunks.get(&id).expect("read of missing chunk");
+        let data = data.clone();
         let g = self.ssd.read_at(t, self.chunk_size);
         (g, data)
     }
 
     /// Read a chunk without charging time (debugging/inspection).
     pub fn peek_chunk(&self, id: ChunkId) -> Option<&[u8]> {
-        self.chunks.get(&id).map(|b| &b[..])
+        self.chunks.get(&id).map(|(_, b)| &b[..])
     }
 
-    /// Drop a chunk and free its space.
+    /// Drop a chunk and free its slot.
     pub(crate) fn drop_chunk(&mut self, id: ChunkId) {
-        let prev = self.chunks.remove(&id);
-        assert!(prev.is_some(), "dropping missing chunk {id}");
+        let (slot, _) = self.chunks.remove(&id).expect("dropping missing chunk");
+        self.slots.release(slot);
     }
 
     /// Whether this benefactor currently stores `id`.
@@ -253,13 +287,11 @@ impl Benefactor {
     /// when a shared chunk is modified without the client holding all of
     /// its clean bytes).
     pub(crate) fn clone_chunk(&mut self, t: VTime, src: ChunkId, dst: ChunkId) -> Grant {
-        let data = self
-            .chunks
-            .get(&src)
-            .expect("clone of missing chunk")
-            .clone();
+        let (_, data) = self.chunks.get(&src).expect("clone of missing chunk");
+        let data = data.clone();
+        let slot = self.slots.alloc().expect("chunk store over capacity");
         let g_read = self.ssd.read_at(t, self.chunk_size);
-        let prev = self.chunks.insert(dst, data);
+        let prev = self.chunks.insert(dst, (slot, data));
         assert!(prev.is_none(), "clone target {dst} exists");
         self.ssd.write_at(g_read.end, self.chunk_size)
     }
@@ -341,6 +373,26 @@ mod tests {
         assert_eq!(b.used(), CHUNK);
         b.drop_chunk(ChunkId(1));
         assert_eq!(b.used(), 0);
+    }
+
+    #[test]
+    fn slot_state_recoverable_from_leaf_bitmap() {
+        // Crash-recovery claim (DESIGN.md §13): the leaf bitmap alone is
+        // the allocation state — summaries and counters rebuild from it.
+        let mut b = bene(8);
+        b.reserve_slots(3);
+        b.store_chunk(VTime::ZERO, ChunkId(1), zero_chunk(), CHUNK, true);
+        b.store_chunk(VTime::ZERO, ChunkId(2), zero_chunk(), CHUNK, false);
+        b.drop_chunk(ChunkId(1));
+        b.release_slots(1);
+        let live = b.slot_allocator();
+        let rebuilt = BitAlloc::from_leaf(live.leaf_words().to_vec(), live.len());
+        assert_eq!(rebuilt.free_count(), live.free_count());
+        assert_eq!(rebuilt.allocated(), live.allocated());
+        for s in 0..live.len() {
+            assert_eq!(rebuilt.is_allocated(s), live.is_allocated(s));
+        }
+        rebuilt.assert_consistent();
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! CRC64 checksums for chunk integrity (DESIGN.md §11).
+//! CRC64 checksums for chunk integrity (DESIGN.md §11, §13).
 //!
 //! Every materialized chunk's full 256 KiB content is summarized by a
 //! CRC-64/XZ digest kept in the manager's chunk metadata. The reflected
@@ -9,6 +9,20 @@
 //! compile time — the store checksums whole chunks on every write-back, so
 //! this sits on the data path and needs to run at memory-ish speed without
 //! pulling in an external crate.
+//!
+//! ## Incremental updates
+//!
+//! CRC is linear over GF(2): for equal-length messages,
+//! `crc(M ⊕ D) = crc(M) ⊕ raw(D)` where `raw` is the init-free,
+//! xorout-free register. A partial overwrite of a chunk is the XOR of a
+//! delta that is zero outside the dirty run, and leading zero bytes do
+//! not move a zero raw register, so the whole-chunk digest can be
+//! updated from just the dirty bytes: absorb `old ⊕ new` into a zero
+//! register, advance it over the trailing zero bytes in O(log n) via
+//! precomputed GF(2) shift operators ([`crc64_splice`]), and XOR into
+//! the recorded digest. This turns the per-page write-back digest from
+//! O(chunk) to O(dirty bytes) — the dominant host-time cost of the
+//! simulator's write path (EXPERIMENTS.md, host-speed table).
 
 /// Reflected ECMA-182 polynomial (CRC-64/XZ).
 const POLY: u64 = 0xC96C_5795_D787_0F42;
@@ -47,23 +61,136 @@ static TABLES: [[u64; 256]; 8] = make_tables();
 
 /// CRC-64/XZ digest of `data`.
 pub fn crc64(data: &[u8]) -> u64 {
-    let mut crc = !0u64;
+    !crc64_absorb_raw(!0u64, data)
+}
+
+/// Absorb `data` into a raw CRC register (no init inversion, no final
+/// xor). `crc64(data) == !crc64_absorb_raw(!0, data)`.
+pub fn crc64_absorb_raw(mut crc: u64, data: &[u8]) -> u64 {
     let mut chunks = data.chunks_exact(8);
     for w in &mut chunks {
         crc ^= u64::from_le_bytes(w.try_into().expect("8-byte window"));
-        crc = TABLES[7][(crc & 0xFF) as usize]
-            ^ TABLES[6][((crc >> 8) & 0xFF) as usize]
-            ^ TABLES[5][((crc >> 16) & 0xFF) as usize]
-            ^ TABLES[4][((crc >> 24) & 0xFF) as usize]
-            ^ TABLES[3][((crc >> 32) & 0xFF) as usize]
-            ^ TABLES[2][((crc >> 40) & 0xFF) as usize]
-            ^ TABLES[1][((crc >> 48) & 0xFF) as usize]
-            ^ TABLES[0][(crc >> 56) as usize];
+        crc = fold8(crc);
     }
     for &b in chunks.remainder() {
         crc = TABLES[0][((crc ^ b as u64) & 0xFF) as usize] ^ (crc >> 8);
     }
-    !crc
+    crc
+}
+
+/// Absorb the byte-wise XOR of two equal-length slices into a raw CRC
+/// register without materializing the XOR-ed buffer.
+pub fn crc64_absorb_raw_xor(mut crc: u64, a: &[u8], b: &[u8]) -> u64 {
+    assert_eq!(a.len(), b.len(), "xor absorb needs equal lengths");
+    let mut aw = a.chunks_exact(8);
+    let mut bw = b.chunks_exact(8);
+    for (x, y) in (&mut aw).zip(&mut bw) {
+        crc ^= u64::from_le_bytes(x.try_into().expect("8-byte window"))
+            ^ u64::from_le_bytes(y.try_into().expect("8-byte window"));
+        crc = fold8(crc);
+    }
+    for (&x, &y) in aw.remainder().iter().zip(bw.remainder()) {
+        crc = TABLES[0][((crc ^ (x ^ y) as u64) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+#[inline]
+fn fold8(crc: u64) -> u64 {
+    TABLES[7][(crc & 0xFF) as usize]
+        ^ TABLES[6][((crc >> 8) & 0xFF) as usize]
+        ^ TABLES[5][((crc >> 16) & 0xFF) as usize]
+        ^ TABLES[4][((crc >> 24) & 0xFF) as usize]
+        ^ TABLES[3][((crc >> 32) & 0xFF) as usize]
+        ^ TABLES[2][((crc >> 40) & 0xFF) as usize]
+        ^ TABLES[1][((crc >> 48) & 0xFF) as usize]
+        ^ TABLES[0][(crc >> 56) as usize]
+}
+
+/// GF(2) operator matrices: `ZERO_OPS[i]` maps a raw CRC register across
+/// `2^i` zero bytes (column k is the image of register bit k). Built
+/// once by squaring the one-byte step, zlib `crc_combine` style.
+fn zero_ops() -> &'static [[u64; 64]; 64] {
+    use std::sync::OnceLock;
+    static OPS: OnceLock<Box<[[u64; 64]; 64]>> = OnceLock::new();
+    OPS.get_or_init(|| {
+        let mut step = [0u64; 64];
+        // absorbing one zero byte: crc = T0[crc & 0xFF] ^ (crc >> 8)
+        for (k, col) in step.iter_mut().enumerate() {
+            *col = if k < 8 {
+                TABLES[0][1usize << k]
+            } else {
+                1u64 << (k - 8)
+            };
+        }
+        let mut ops = Box::new([[0u64; 64]; 64]);
+        ops[0] = step;
+        for i in 1..64 {
+            let prev = ops[i - 1];
+            for k in 0..64 {
+                ops[i][k] = mat_vec(&prev, prev[k]);
+            }
+        }
+        ops
+    })
+}
+
+#[inline]
+fn mat_vec(m: &[u64; 64], mut v: u64) -> u64 {
+    let mut out = 0u64;
+    let mut k = 0;
+    while v != 0 {
+        if v & 1 != 0 {
+            out ^= m[k];
+        }
+        v >>= 1;
+        k += 1;
+    }
+    out
+}
+
+/// Advance a raw CRC register across `n` zero bytes in O(log n).
+pub fn crc64_advance_zeros(mut crc: u64, mut n: u64) -> u64 {
+    let ops = zero_ops();
+    let mut i = 0;
+    while n != 0 {
+        if n & 1 != 0 {
+            crc = mat_vec(&ops[i], crc);
+        }
+        n >>= 1;
+        i += 1;
+    }
+    crc
+}
+
+/// CRC-64/XZ of `n` zero bytes, in O(log n).
+pub fn crc64_zeros(n: u64) -> u64 {
+    !crc64_advance_zeros(!0u64, n)
+}
+
+/// Update the digest of a `len`-byte buffer after the bytes at
+/// `[off, off + new.len())` change from `old_bytes` to `new_bytes`:
+/// O(dirty + log len) instead of re-scanning the buffer. `old` must be
+/// the digest of the buffer *with* `old_bytes` in place.
+pub fn crc64_splice(old: u64, len: u64, off: u64, old_bytes: &[u8], new_bytes: &[u8]) -> u64 {
+    assert_eq!(old_bytes.len(), new_bytes.len(), "splice run lengths");
+    assert!(
+        off + new_bytes.len() as u64 <= len,
+        "splice run out of range"
+    );
+    let delta = crc64_absorb_raw_xor(0, old_bytes, new_bytes);
+    old ^ crc64_advance_zeros(delta, len - off - new_bytes.len() as u64)
+}
+
+/// [`crc64_splice`] for the case where the old bytes are all zero
+/// (freshly composed chunks): skips the XOR stream.
+pub fn crc64_splice_fresh(old: u64, len: u64, off: u64, new_bytes: &[u8]) -> u64 {
+    assert!(
+        off + new_bytes.len() as u64 <= len,
+        "splice run out of range"
+    );
+    let delta = crc64_absorb_raw(0, new_bytes);
+    old ^ crc64_advance_zeros(delta, len - off - new_bytes.len() as u64)
 }
 
 #[cfg(test)]
@@ -86,6 +213,12 @@ mod tests {
         !crc
     }
 
+    fn pattern(len: usize, seed: u32) -> Vec<u8> {
+        (0..len as u32)
+            .map(|i| (i.wrapping_mul(131).wrapping_add(seed) % 251) as u8)
+            .collect()
+    }
+
     #[test]
     fn known_answer_vectors() {
         // CRC-64/XZ check value from the standard catalogue.
@@ -96,7 +229,7 @@ mod tests {
     #[test]
     fn slice_by_8_matches_bitwise_reference() {
         // Cover every alignment of head/tail around the 8-byte windows.
-        let data: Vec<u8> = (0..1021u32).map(|i| (i * 131 % 251) as u8).collect();
+        let data: Vec<u8> = pattern(1021, 0);
         for len in [0, 1, 7, 8, 9, 63, 64, 65, 1021] {
             assert_eq!(
                 crc64(&data[..len]),
@@ -116,5 +249,64 @@ mod tests {
             data[pos] ^= 0x01;
         }
         assert_eq!(crc64(&data), clean);
+    }
+
+    #[test]
+    fn zeros_matches_direct_scan() {
+        for n in [0u64, 1, 7, 8, 9, 63, 64, 255, 256, 4096, 262_144, 1 << 20] {
+            assert_eq!(crc64_zeros(n), crc64(&vec![0u8; n as usize]), "n {n}");
+        }
+    }
+
+    #[test]
+    fn advance_zeros_matches_absorbing_zero_bytes() {
+        let data = pattern(123, 7);
+        let raw = crc64_absorb_raw(0, &data);
+        for n in [0usize, 1, 5, 64, 1000, 65536] {
+            assert_eq!(
+                crc64_advance_zeros(raw, n as u64),
+                crc64_absorb_raw(raw, &vec![0u8; n]),
+                "n {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn splice_matches_full_recompute() {
+        let len = 8192usize;
+        let mut buf = pattern(len, 3);
+        let mut digest = crc64(&buf);
+        // a spread of offsets/lengths incl. unaligned and boundary runs
+        for (off, run) in [
+            (0usize, 100usize),
+            (1, 7),
+            (4000, 4096),
+            (8191, 1),
+            (0, 8192),
+        ] {
+            let new_bytes = pattern(run, off as u32 + 11);
+            digest = crc64_splice(
+                digest,
+                len as u64,
+                off as u64,
+                &buf[off..off + run],
+                &new_bytes,
+            );
+            buf[off..off + run].copy_from_slice(&new_bytes);
+            assert_eq!(digest, crc64(&buf), "off {off} run {run}");
+        }
+    }
+
+    #[test]
+    fn splice_fresh_composes_zero_based_chunks() {
+        let len = 16384usize;
+        let mut buf = vec![0u8; len];
+        let mut digest = crc64_zeros(len as u64);
+        for (off, run) in [(512usize, 1000usize), (9000, 4096), (16000, 384)] {
+            let new_bytes = pattern(run, off as u32);
+            digest = crc64_splice_fresh(digest, len as u64, off as u64, &new_bytes);
+            buf[off..off + run].copy_from_slice(&new_bytes);
+        }
+        assert_eq!(digest, crc64(&buf));
     }
 }

@@ -10,6 +10,8 @@
 //! and later writes copy-on-write.
 //!
 //! * [`ids`] — typed file/chunk/benefactor identifiers;
+//! * [`bitalloc`] — llfree-style bitmap-tree slot allocator backing the
+//!   benefactor/manager allocation path (DESIGN.md §13);
 //! * [`benefactor`] — the SSD-backed chunk server;
 //! * [`manager`] — metadata: allocation, striping, health, linking;
 //! * [`store`] — the timed client-facing facade charging RPC, network and
@@ -23,6 +25,7 @@
 //!   delegation, so hot paths skip the manager entirely.
 
 pub mod benefactor;
+pub mod bitalloc;
 pub mod crc;
 pub mod error;
 pub mod ids;
@@ -32,6 +35,7 @@ pub mod shardmgr;
 pub mod store;
 
 pub use benefactor::Benefactor;
+pub use bitalloc::{BitAlloc, BitSet};
 pub use crc::crc64;
 pub use error::{Result, StoreError};
 pub use ids::{BenefactorId, ChunkId, FileId};

@@ -110,18 +110,25 @@ pub struct FileMeta {
     pub expires_at: Option<simcore::VTime>,
 }
 
+/// Index into a stripe of length `stripe_len` of slot `idx`'s primary
+/// copy under `placement`. Free function so fallocate can count slot
+/// demand per benefactor before any `FileMeta` exists.
+pub(crate) fn stripe_pos(placement: PlacementPolicy, stripe_len: usize, idx: usize) -> usize {
+    assert!(stripe_len > 0, "file not fallocated");
+    match placement {
+        PlacementPolicy::RoundRobin => idx % stripe_len,
+        PlacementPolicy::RandomPermutation { seed } => {
+            // Deterministic per-(file,index) pick via SplitMix.
+            let h = simcore::rng::child_seed(seed, idx as u64);
+            (h % stripe_len as u64) as usize
+        }
+    }
+}
+
 impl FileMeta {
     /// Index into the stripe list of slot `idx`'s primary copy.
     fn stripe_pos_of_slot(&self, idx: usize) -> usize {
-        assert!(!self.stripe.is_empty(), "file not fallocated");
-        match self.placement {
-            PlacementPolicy::RoundRobin => idx % self.stripe.len(),
-            PlacementPolicy::RandomPermutation { seed } => {
-                // Deterministic per-(file,index) pick via SplitMix.
-                let h = simcore::rng::child_seed(seed, idx as u64);
-                (h % self.stripe.len() as u64) as usize
-            }
-        }
+        stripe_pos(self.placement, self.stripe.len(), idx)
     }
 
     /// The benefactor that owns slot `idx`'s primary copy.
@@ -129,14 +136,18 @@ impl FileMeta {
         self.stripe[self.stripe_pos_of_slot(idx)]
     }
 
-    /// All benefactors owning a copy of slot `idx`: the primary plus the
-    /// next `replicas - 1` stripe positions. Distinct as long as
-    /// `replicas <= stripe.len()` (enforced at fallocate).
-    pub fn homes_of_slot(&self, idx: usize) -> Vec<BenefactorId> {
+    /// All benefactors owning a copy of slot `idx`, allocation-free: the
+    /// primary plus the next `replicas - 1` stripe positions. Distinct as
+    /// long as `replicas <= stripe.len()` (enforced at fallocate).
+    pub fn homes_iter(&self, idx: usize) -> impl Iterator<Item = BenefactorId> + '_ {
         let base = self.stripe_pos_of_slot(idx);
         (0..self.replicas.min(self.stripe.len()))
-            .map(|r| self.stripe[(base + r) % self.stripe.len()])
-            .collect()
+            .map(move |r| self.stripe[(base + r) % self.stripe.len()])
+    }
+
+    /// `homes_iter` collected (callers that need an owned list).
+    pub fn homes_of_slot(&self, idx: usize) -> Vec<BenefactorId> {
+        self.homes_iter(idx).collect()
     }
 }
 
@@ -169,6 +180,14 @@ pub struct Manager {
     next_file: u64,
     next_chunk: u64,
     stripe_cursor: usize,
+    /// Alive benefactors, ascending id — maintained incrementally by
+    /// `register_benefactor`/`set_alive` so status sweeps never rescan
+    /// the fleet.
+    alive: Vec<BenefactorId>,
+    /// Alive and not quarantined (placement-eligible), ascending id.
+    placeable: Vec<BenefactorId>,
+    /// How many benefactors are currently quarantined.
+    quarantined: usize,
     /// Bumped on every placement-affecting mutation (chunk materialized or
     /// re-homed, benefactor liveness change, repair, reconcile, file
     /// deletion/linking). Client-side location caches compare their stored
@@ -190,6 +209,9 @@ impl Manager {
             next_file: 0,
             next_chunk: 0,
             stripe_cursor: 0,
+            alive: Vec::new(),
+            placeable: Vec::new(),
+            quarantined: 0,
             placement_epoch: 0,
         }
     }
@@ -213,8 +235,56 @@ impl Manager {
 
     pub fn register_benefactor(&mut self, b: Benefactor) -> BenefactorId {
         let id = BenefactorId(self.benefactors.len());
+        // Ids are handed out in ascending order, so pushing keeps the
+        // incremental sets sorted.
+        if b.is_alive() {
+            self.alive.push(id);
+        }
+        if b.is_placeable() {
+            self.placeable.push(id);
+        }
+        if b.is_quarantined() {
+            self.quarantined += 1;
+        }
         self.benefactors.push(b);
         id
+    }
+
+    /// Insert/remove `id` in a sorted membership Vec, keeping it sorted.
+    fn set_membership(set: &mut Vec<BenefactorId>, id: BenefactorId, member: bool) {
+        match (set.binary_search(&id), member) {
+            (Err(at), true) => set.insert(at, id),
+            (Ok(at), false) => {
+                set.remove(at);
+            }
+            _ => {}
+        }
+    }
+
+    /// Take a benefactor offline or bring it back, keeping the alive /
+    /// placeable sets current. The single mutation point for liveness:
+    /// callers outside the crate cannot reach `Benefactor::set_alive`.
+    pub fn set_alive(&mut self, id: BenefactorId, alive: bool) {
+        self.benefactors[id.0].set_alive(alive);
+        Self::set_membership(&mut self.alive, id, alive);
+        let placeable = self.benefactors[id.0].is_placeable();
+        Self::set_membership(&mut self.placeable, id, placeable);
+    }
+
+    /// Quarantine a benefactor (or lift it), keeping the placeable set and
+    /// the quarantine counter current.
+    pub fn set_quarantined(&mut self, id: BenefactorId, quarantined: bool) {
+        let b = &mut self.benefactors[id.0];
+        if b.is_quarantined() != quarantined {
+            self.quarantined = if quarantined {
+                self.quarantined + 1
+            } else {
+                self.quarantined - 1
+            };
+        }
+        b.set_quarantined(quarantined);
+        let placeable = self.benefactors[id.0].is_placeable();
+        Self::set_membership(&mut self.placeable, id, placeable);
     }
 
     pub fn benefactor(&self, id: BenefactorId) -> &Benefactor {
@@ -229,40 +299,33 @@ impl Manager {
         self.benefactors.len()
     }
 
-    pub fn alive_benefactors(&self) -> Vec<BenefactorId> {
-        self.benefactors
-            .iter()
-            .enumerate()
-            .filter(|(_, b)| b.is_alive())
-            .map(|(i, _)| BenefactorId(i))
-            .collect()
+    /// Alive benefactors, ascending id. A borrow of the incrementally
+    /// maintained set — no allocation, no fleet sweep.
+    pub fn alive_benefactors(&self) -> &[BenefactorId] {
+        &self.alive
     }
 
     /// Benefactors eligible for new chunk placement: alive and not
     /// quarantined by the scrub daemon. Reads and repairs-from still use
     /// the full alive set — quarantine only stops *new* bytes landing.
-    pub fn placeable_benefactors(&self) -> Vec<BenefactorId> {
-        self.benefactors
-            .iter()
-            .enumerate()
-            .filter(|(_, b)| b.is_placeable())
-            .map(|(i, _)| BenefactorId(i))
-            .collect()
+    /// Ascending id, allocation-free.
+    pub fn placeable_benefactors(&self) -> &[BenefactorId] {
+        &self.placeable
     }
 
-    /// How many benefactors the scrub daemon has quarantined.
+    /// How many benefactors the scrub daemon has quarantined. O(1).
     pub fn quarantined_count(&self) -> usize {
-        self.benefactors
-            .iter()
-            .filter(|b| b.is_quarantined())
-            .count()
+        self.quarantined
     }
 
-    /// Status-monitoring sweep: total/free space over alive benefactors.
+    /// Status-monitoring report: total/free space over alive benefactors.
+    /// Walks only the alive set; each benefactor answers from its slot
+    /// allocator's O(1) folded counter.
     pub fn space(&self) -> (u64, u64) {
         let mut total = 0;
         let mut free = 0;
-        for b in self.benefactors.iter().filter(|b| b.is_alive()) {
+        for &id in &self.alive {
+            let b = &self.benefactors[id.0];
             total += b.capacity();
             free += b.free();
         }
@@ -328,27 +391,25 @@ impl Manager {
             });
         }
 
-        // Count slots per benefactor under the chosen placement, then
-        // check space before mutating anything.
-        let meta_preview = FileMeta {
-            name: String::new(),
-            size,
-            stripe: stripe.clone(),
-            slots: vec![Slot::Unmaterialized; n_slots],
-            placement,
-            replicas,
-            expires_at: None,
-        };
-        let mut per_bene: HashMap<BenefactorId, u64> = HashMap::new();
+        // Count slots per benefactor under the chosen placement (flat
+        // index-keyed counts, no map allocation churn), then check space
+        // before mutating anything. Checked in ascending benefactor id,
+        // so which violation reports first is deterministic.
+        let mut per_bene = vec![0u64; self.benefactors.len()];
+        let copies = replicas.min(stripe.len());
         for i in 0..n_slots {
-            for home in meta_preview.homes_of_slot(i) {
-                *per_bene.entry(home).or_insert(0) += 1;
+            let base = stripe_pos(placement, stripe.len(), i);
+            for r in 0..copies {
+                per_bene[stripe[(base + r) % stripe.len()].0] += 1;
             }
         }
-        for (&b, &slots) in &per_bene {
-            let bene = &self.benefactors[b.0];
+        for (bi, &slots) in per_bene.iter().enumerate() {
+            if slots == 0 {
+                continue;
+            }
+            let bene = &self.benefactors[bi];
             if !bene.is_alive() {
-                return Err(StoreError::BenefactorDown(b));
+                return Err(StoreError::BenefactorDown(BenefactorId(bi)));
             }
             if bene.free() < slots * chunk_size {
                 return Err(StoreError::OutOfSpace {
@@ -357,8 +418,10 @@ impl Manager {
                 });
             }
         }
-        for (&b, &slots) in &per_bene {
-            self.benefactors[b.0].reserve_slots(slots);
+        for (bi, &slots) in per_bene.iter().enumerate() {
+            if slots > 0 {
+                self.benefactors[bi].reserve_slots(slots);
+            }
         }
 
         let meta = self.file_mut(id)?;
@@ -388,35 +451,38 @@ impl Manager {
     fn resolve_stripe(&mut self, spec: StripeSpec) -> Result<Vec<BenefactorId>> {
         // All/Count pick from the placeable set so quarantined benefactors
         // stop receiving new files; Explicit lists are honored as long as
-        // the named benefactors are alive (the caller pinned them).
-        let alive = match spec.width {
-            StripeWidth::Explicit(_) => self.alive_benefactors(),
-            _ => self.placeable_benefactors(),
+        // the named benefactors are alive (the caller pinned them). Both
+        // pools are the incrementally maintained sorted sets — borrowed,
+        // not rebuilt, so the cursor advances after the borrow ends.
+        let pool: &[BenefactorId] = match spec.width {
+            StripeWidth::Explicit(_) => &self.alive,
+            _ => &self.placeable,
         };
-        if alive.is_empty() {
+        if pool.is_empty() {
             return Err(StoreError::NoBenefactors);
         }
-        match spec.width {
+        let cursor = self.stripe_cursor;
+        let (stripe, advance) = match spec.width {
             StripeWidth::All => {
                 // Rotate the list per file so concurrent writers of
                 // equally-striped files do not hit the same benefactor in
                 // lockstep (the manager's load balancing).
-                let start = self.stripe_cursor % alive.len();
-                self.stripe_cursor = self.stripe_cursor.wrapping_add(1);
-                Ok((0..alive.len())
-                    .map(|i| alive[(start + i) % alive.len()])
-                    .collect())
+                let start = cursor % pool.len();
+                let stripe = (0..pool.len())
+                    .map(|i| pool[(start + i) % pool.len()])
+                    .collect();
+                (stripe, 1)
             }
             StripeWidth::Count(n) => {
-                if n == 0 || n > alive.len() {
+                if n == 0 || n > pool.len() {
                     return Err(StoreError::NotEnoughBenefactors {
                         requested: n,
-                        alive: alive.len(),
+                        alive: pool.len(),
                     });
                 }
-                let start = self.stripe_cursor % alive.len();
-                self.stripe_cursor = self.stripe_cursor.wrapping_add(n);
-                Ok((0..n).map(|i| alive[(start + i) % alive.len()]).collect())
+                let start = cursor % pool.len();
+                let stripe = (0..n).map(|i| pool[(start + i) % pool.len()]).collect();
+                (stripe, n)
             }
             StripeWidth::Explicit(list) => {
                 if list.is_empty() {
@@ -427,9 +493,11 @@ impl Manager {
                         return Err(StoreError::BenefactorDown(b));
                     }
                 }
-                Ok(list)
+                (list, 0)
             }
-        }
+        };
+        self.stripe_cursor = cursor.wrapping_add(advance);
+        Ok(stripe)
     }
 
     /// Delete a file: release reservations and drop chunk references.
@@ -440,7 +508,7 @@ impl Manager {
         for (i, slot) in meta.slots.iter().enumerate() {
             match slot {
                 Slot::Unmaterialized => {
-                    for home in meta.homes_of_slot(i) {
+                    for home in meta.homes_iter(i) {
                         self.benefactors[home.0].release_slots(1);
                     }
                 }
@@ -545,16 +613,19 @@ impl Manager {
             .chunk_meta
             .iter()
             .filter_map(|(&c, m)| {
-                let live: Vec<BenefactorId> = m
-                    .homes
-                    .iter()
-                    .copied()
-                    .filter(|&h| self.benefactors[h.0].is_alive())
-                    .collect();
-                if live.is_empty() || live.len() >= m.target {
+                // First live home is the donor; count the rest in place.
+                let mut live = 0usize;
+                let mut donor = None;
+                for &h in &m.homes {
+                    if self.benefactors[h.0].is_alive() {
+                        live += 1;
+                        donor.get_or_insert(h);
+                    }
+                }
+                if live == 0 || live >= m.target {
                     return None;
                 }
-                Some((c, live[0], m.target - live.len()))
+                Some((c, donor.unwrap(), m.target - live))
             })
             .collect();
         out.sort_by_key(|&(c, _, _)| c);
@@ -775,7 +846,7 @@ mod tests {
     #[test]
     fn dead_benefactor_rejected() {
         let mut m = mgr(2, 16);
-        m.benefactor_mut(BenefactorId(1)).set_alive(false);
+        m.set_alive(BenefactorId(1), false);
         let f = m.create_file("/x").unwrap();
         let err = m
             .fallocate(
@@ -818,7 +889,7 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, StoreError::BenefactorDown(BenefactorId(9)));
 
-        m.benefactor_mut(BenefactorId(1)).set_alive(false);
+        m.set_alive(BenefactorId(1), false);
         let err = m
             .fallocate(
                 f,
@@ -914,7 +985,7 @@ mod tests {
     #[test]
     fn quarantined_benefactor_excluded_from_new_stripes() {
         let mut m = mgr(3, 16);
-        m.benefactor_mut(BenefactorId(1)).set_quarantined(true);
+        m.set_quarantined(BenefactorId(1), true);
         assert_eq!(
             m.placeable_benefactors(),
             vec![BenefactorId(0), BenefactorId(2)]

@@ -18,9 +18,9 @@
 //! the dead shard's unleased keyspace.
 
 use super::ring::HashRing;
+use crate::bitalloc::BitSet;
 use simcore::rng::child_seed;
 use simcore::{Counter, Resource, VTime};
-use std::collections::HashMap;
 
 /// Lease bookkeeping counters, registered lazily by the store when the
 /// sharded manager is installed (knobs-off snapshots must not grow keys).
@@ -41,8 +41,13 @@ struct ShardState {
     /// fan-in contention lives and what extra shards relieve.
     cpu: Resource,
     alive: bool,
-    /// client node → lease expiry (virtual time).
-    leases: HashMap<usize, VTime>,
+    /// Clients holding a delegation: one bit per client node, with O(1)
+    /// cardinality (same substrate as the slot allocator, DESIGN.md §13).
+    held: BitSet,
+    /// Client `c`'s lease expiry lives at `expiry[c]`, meaningful only
+    /// while bit `c` is set in `held`. Flat and index-keyed: client ids
+    /// are dense cluster node numbers.
+    expiry: Vec<VTime>,
 }
 
 /// The installed shard fleet: ring + per-shard state + lease policy.
@@ -78,7 +83,8 @@ impl ShardSet {
                     node,
                     cpu: Resource::new(format!("shardmgr.s{k}.cpu")),
                     alive: true,
-                    leases: HashMap::new(),
+                    held: BitSet::new(),
+                    expiry: Vec::new(),
                 })
                 .collect(),
             lease_ttl,
@@ -125,14 +131,16 @@ impl ShardSet {
     /// Does `client` hold an unexpired lease from `shard` at `now`?
     /// Expired leases are reaped (and counted) on consultation.
     pub fn check_lease(&mut self, shard: usize, client: usize, now: VTime) -> bool {
-        match self.shards[shard].leases.get(&client) {
-            Some(&expires) if expires > now => true,
-            Some(_) => {
-                self.shards[shard].leases.remove(&client);
-                self.counters.expiries.inc();
-                false
-            }
-            None => false,
+        let s = &mut self.shards[shard];
+        if !s.held.contains(client) {
+            return false;
+        }
+        if s.expiry[client] > now {
+            true
+        } else {
+            s.held.remove(client);
+            self.counters.expiries.inc();
+            false
         }
     }
 
@@ -143,33 +151,34 @@ impl ShardSet {
     pub fn grant_lease(&mut self, shard: usize, client: usize, now: VTime) {
         let jitter_span = (self.lease_ttl.as_nanos() / 8).max(1);
         let jitter = child_seed(child_seed(self.seed, shard as u64), client as u64) % jitter_span;
-        let renewal = matches!(
-            self.shards[shard].leases.get(&client),
-            Some(&expires) if expires > now
-        );
+        let s = &mut self.shards[shard];
+        let renewal = s.held.contains(client) && s.expiry[client] > now;
         if renewal {
             self.counters.renewals.inc();
         } else {
             self.counters.grants.inc();
         }
-        self.shards[shard]
-            .leases
-            .insert(client, now + self.lease_ttl + VTime::from_nanos(jitter));
+        if s.expiry.len() <= client {
+            s.expiry.resize(client + 1, VTime::ZERO);
+        }
+        s.held.insert(client);
+        s.expiry[client] = now + self.lease_ttl + VTime::from_nanos(jitter);
     }
 
     /// Revoke every lease `shard` has granted, returning how many fell.
     /// The caller (the store) pairs this with a placement-epoch bump so
     /// revoked clients cannot keep serving stale cached resolutions.
     pub fn revoke_shard(&mut self, shard: usize) -> usize {
-        let n = self.shards[shard].leases.len();
-        self.shards[shard].leases.clear();
+        let n = self.shards[shard].held.clear();
         self.counters.revokes.add(n as u64);
         n
     }
 
-    /// Live leases currently granted by `shard` (tests/benches).
+    /// Leases currently on `shard`'s books — O(1) (expired-but-unreaped
+    /// entries count until a `check_lease` consults them, exactly as the
+    /// map-backed table behaved).
     pub fn leases_held(&self, shard: usize) -> usize {
-        self.shards[shard].leases.len()
+        self.shards[shard].held.count()
     }
 }
 

@@ -7,7 +7,7 @@
 //! the aggregate store.
 
 use crate::benefactor::Benefactor;
-use crate::crc::crc64;
+use crate::crc::{self, crc64};
 use crate::error::{Result, StoreError};
 use crate::ids::{BenefactorId, ChunkId, FileId};
 use crate::loc_cache::{CachedLoc, LocationCache};
@@ -166,10 +166,81 @@ pub struct RepairReport {
     pub chunks_unrepairable: u64,
 }
 
+/// Reusable per-benefactor chain-grouping scratch for the batched
+/// fetch/write drains. Flat Vecs keyed by benefactor index, recycled
+/// across calls (taken from and returned to the store's mutex), so
+/// steady-state batch planning allocates nothing — the previous code
+/// built a fresh `BTreeMap` of `Vec`s per call and popped entries with
+/// `remove(0)`.
+#[derive(Debug, Default)]
+struct ChainScratch {
+    /// Per-benefactor chain cursor (completion of its last entry).
+    cursor: Vec<VTime>,
+    /// Per-benefactor queued entry indices, in input order.
+    queue: Vec<Vec<usize>>,
+    /// Per-benefactor drain position into `queue` (O(1) pop-front).
+    head: Vec<usize>,
+    /// Benefactor indexes holding any queued entries this batch.
+    active: Vec<usize>,
+}
+
+impl ChainScratch {
+    /// Reset for a batch over a fleet of `n` benefactors.
+    fn begin(&mut self, n: usize) {
+        for &b in &self.active {
+            self.queue[b].clear();
+            self.head[b] = 0;
+        }
+        self.active.clear();
+        if self.cursor.len() < n {
+            self.cursor.resize(n, VTime::ZERO);
+            self.queue.resize_with(n, Vec::new);
+            self.head.resize(n, 0);
+        }
+    }
+
+    fn push(&mut self, home: BenefactorId, i: usize) {
+        let b = home.0;
+        if self.queue[b].is_empty() {
+            self.cursor[b] = VTime::ZERO;
+            self.active.push(b);
+        }
+        self.queue[b].push(i);
+    }
+
+    /// Pop the entry whose chain start `max(cursor, ready[front])` is
+    /// minimal, benefactor id breaking ties — the exact drain order the
+    /// old per-call BTreeMap min-scan produced. Returns the entry's
+    /// benefactor, index and chain start time.
+    fn pop_min(&mut self, ready: &[VTime]) -> Option<(BenefactorId, usize, VTime)> {
+        let mut best: Option<(VTime, usize)> = None;
+        for &b in &self.active {
+            if self.head[b] == self.queue[b].len() {
+                continue;
+            }
+            let start = self.cursor[b].max(ready[self.queue[b][self.head[b]]]);
+            if best.is_none_or(|k| (start, b) < k) {
+                best = Some((start, b));
+            }
+        }
+        let (start, b) = best?;
+        let i = self.queue[b][self.head[b]];
+        self.head[b] += 1;
+        Some((BenefactorId(b), i, start))
+    }
+
+    /// Record that `home`'s chain now extends to `end`.
+    fn set_cursor(&mut self, home: BenefactorId, end: VTime) {
+        self.cursor[home.0] = end;
+    }
+}
+
 /// The aggregate NVM store, shared by every client on the cluster.
 #[derive(Clone)]
 pub struct AggregateStore {
     mgr: Arc<Mutex<Manager>>,
+    /// Recycled grouping scratch for `fetch_chunks`/`write_pages_batch`.
+    chain_scratch: Arc<Mutex<ChainScratch>>,
     net: Network,
     cfg: StoreConfig,
     faults: Arc<Mutex<Option<FaultPlan>>>,
@@ -225,6 +296,7 @@ impl AggregateStore {
     pub fn new(cfg: StoreConfig, net: Network, stats: &StatsRegistry) -> Self {
         let store = AggregateStore {
             mgr: Arc::new(Mutex::new(Manager::new(cfg.chunk_size))),
+            chain_scratch: Arc::new(Mutex::new(ChainScratch::default())),
             net,
             cfg,
             faults: Arc::new(Mutex::new(None)),
@@ -473,7 +545,7 @@ impl AggregateStore {
                 continue;
             }
             if st.bad[i] as f64 > st.cfg.quarantine_rate * st.scrubbed[i] as f64 {
-                mgr.benefactor_mut(b).set_quarantined(true);
+                mgr.set_quarantined(b, true);
                 mgr.bump_placement_epoch();
                 self.stats.counter("store.quarantined").inc();
                 self.trace
@@ -1176,9 +1248,9 @@ impl AggregateStore {
                 chunk: ChunkId,
             },
         }
-        let plan: Vec<Plan> = {
+        let (plan, fleet): (Vec<Plan>, usize) = {
             let mgr = self.mgr.lock();
-            resolved
+            let plan = resolved
                 .iter()
                 .map(|loc| match loc.as_ref().expect("all targets resolved") {
                     CachedLoc::Zeros => Plan::Zeros,
@@ -1196,7 +1268,8 @@ impl AggregateStore {
                         }
                     }
                 })
-                .collect()
+                .collect();
+            (plan, mgr.benefactor_count())
         };
 
         // Group chains per benefactor (input order within a group) and
@@ -1206,34 +1279,22 @@ impl AggregateStore {
         // `max(cursor, ready[i])`, so with a uniform `ready` (serial
         // manager, or shards=1 where every owner is shard 0) the drain is
         // exactly the original shared-`t0` schedule.
-        let mut groups: BTreeMap<BenefactorId, (VTime, Vec<usize>)> = BTreeMap::new();
+        let mut scratch = std::mem::take(&mut *self.chain_scratch.lock());
+        scratch.begin(fleet);
         for (i, p) in plan.iter().enumerate() {
             if let Plan::Chain { home, .. } = p {
-                groups
-                    .entry(*home)
-                    .or_insert((VTime::ZERO, Vec::new()))
-                    .1
-                    .push(i);
+                scratch.push(*home, i);
             }
         }
         let mut out: Vec<Option<(VTime, ChunkPayload)>> = Vec::new();
         out.resize_with(targets.len(), || None);
-        loop {
-            let next = groups
-                .iter()
-                .filter(|(_, (_, order))| !order.is_empty())
-                .min_by_key(|(home, (at, order))| ((*at).max(ready[order[0]]), **home))
-                .map(|(&home, _)| home);
-            let Some(home) = next else { break };
-            let (at, order) = groups.get_mut(&home).expect("group exists");
-            let i = order.remove(0);
+        while let Some((home, i, start)) = scratch.pop_min(&ready) {
             let Plan::Chain {
                 chunk, degraded, ..
             } = plan[i]
             else {
                 unreachable!("grouped entries are chains")
             };
-            let start = (*at).max(ready[i]);
             self.chunk_fetches.inc();
             let csp = self.trace.span(Layer::Store, "store.chunk_fetch", start);
             // The shared retry loop re-picks from the live home list (the
@@ -1247,9 +1308,10 @@ impl AggregateStore {
                 csp.arg("degraded", 1);
             }
             csp.finish(res.end);
-            *at = res.end;
+            scratch.set_cursor(home, res.end);
             out[i] = Some((res.end, ChunkPayload::Data(res.data)));
         }
+        *self.chain_scratch.lock() = scratch;
 
         // Zeros and degraded fallbacks fill in the gaps. A fallback runs
         // the same retry loop the serial path would, from its entry's
@@ -1386,42 +1448,32 @@ impl AggregateStore {
         // authoritatively per entry. Cursors start at ZERO and each entry
         // starts at `max(cursor, ready[i])`, so a uniform `ready` yields
         // exactly the original shared-`t0` schedule.
-        let keys: Vec<Option<BenefactorId>> = {
+        let (keys, fleet): (Vec<Option<BenefactorId>>, usize) = {
             let mgr = self.mgr.lock();
-            entries
+            let keys = entries
                 .iter()
                 .map(|e| Self::primary_live_home(&mgr, e.file, e.idx))
-                .collect()
+                .collect();
+            (keys, mgr.benefactor_count())
         };
-        let mut groups: BTreeMap<BenefactorId, (VTime, Vec<usize>)> = BTreeMap::new();
+        let mut scratch = std::mem::take(&mut *self.chain_scratch.lock());
+        scratch.begin(fleet);
         for (i, k) in keys.iter().enumerate() {
             if let Some(home) = k {
-                groups
-                    .entry(*home)
-                    .or_insert((VTime::ZERO, Vec::new()))
-                    .1
-                    .push(i);
+                scratch.push(*home, i);
             }
         }
         let mut ends: Vec<VTime> = ready.clone();
-        loop {
-            let next = groups
-                .iter()
-                .filter(|(_, (_, order))| !order.is_empty())
-                .min_by_key(|(home, (at, order))| ((*at).max(ready[order[0]]), **home))
-                .map(|(&home, _)| home);
-            let Some(home) = next else { break };
-            let (at, order) = groups.get_mut(&home).expect("group exists");
-            let i = order.remove(0);
-            let start = (*at).max(ready[i]);
+        while let Some((home, i, start)) = scratch.pop_min(&ready) {
             let e = &entries[i];
             let esp = self.trace.span(Layer::Store, "store.write_pages", start);
             esp.arg("file", e.file.0).arg("idx", e.idx as u64);
             let end = self.write_pages_resolved(start, client_node, e.file, e.idx, e.updates)?;
             esp.finish(end);
-            *at = end;
+            scratch.set_cursor(home, end);
             ends[i] = end;
         }
+        *self.chain_scratch.lock() = scratch;
         // Entries with no live home at batch time (they error, or — for
         // holes — allocate wherever space remains) run unchained from
         // their resolution time.
@@ -1454,7 +1506,8 @@ impl AggregateStore {
                 .find(|&h| mgr.benefactor(h).is_alive()),
             Slot::Hole => mgr
                 .placeable_benefactors()
-                .into_iter()
+                .iter()
+                .copied()
                 .find(|&b| mgr.benefactor(b).can_allocate_chunk(false)),
             Slot::Chunk(c) => mgr
                 .chunk_homes(c)?
@@ -1523,7 +1576,7 @@ impl AggregateStore {
                 // wherever it fits — up to `replicas` distinct placeable
                 // (non-quarantined) hosts.
                 let mut picked = Vec::new();
-                for b in mgr.placeable_benefactors() {
+                for &b in mgr.placeable_benefactors() {
                     if picked.len() == replicas {
                         break;
                     }
@@ -1572,37 +1625,73 @@ impl AggregateStore {
             }
         }
 
+        let chunk_len = self.cfg.chunk_size;
         let compose = |updates: &[(u64, &[u8])]| {
-            let mut data = vec![0u8; self.cfg.chunk_size as usize].into_boxed_slice();
+            let mut data = vec![0u8; chunk_len as usize].into_boxed_slice();
             for (off, d) in updates {
                 data[*off as usize..*off as usize + d.len()].copy_from_slice(d);
             }
             data
         };
 
+        // Digest of a zero chunk with `updates` applied, without scanning
+        // the composed buffer: start from the all-zeros digest and splice
+        // each dirty run in — O(dirty bytes), not O(chunk). Dirty runs
+        // never overlap (they come from a page bitmap), which the splice
+        // algebra relies on.
+        let compose_crc = |updates: &[(u64, &[u8])]| {
+            let mut crc = crc::crc64_zeros(chunk_len);
+            for (off, d) in updates {
+                crc = crc::crc64_splice_fresh(crc, chunk_len, *off, d);
+            }
+            crc
+        };
+
         // Digest of the *intended* post-write content of chunk `c`,
         // recorded in metadata before any benefactor write lands — a torn
         // write or silent corruption on the media then disagrees with it.
-        // With verification on, the base bytes are taken from a copy that
-        // still matches the recorded CRC, so existing rot on one replica
-        // is not laundered into the new digest.
+        //
+        // The recorded digest is the digest of the intended *current*
+        // content, so the new digest is an incremental splice of each
+        // dirty run into it (O(dirty bytes + log chunk), no full-chunk
+        // copy or rescan). With verification on, the old bytes under each
+        // run are read from a copy that still matches the recorded CRC,
+        // so existing rot on one replica is not laundered into the new
+        // digest; if no copy verifies, fall back to a full recompute over
+        // the best available bytes (prior behavior).
         let updated_crc = |mgr: &Manager, c: ChunkId, homes: &[BenefactorId]| -> u64 {
-            let verified_base = if self.cfg.verify_reads {
-                let want = mgr.chunk_crc(c).expect("chunk without crc");
-                homes
-                    .iter()
-                    .find_map(|&h| mgr.benefactor(h).peek_chunk(c).filter(|b| crc64(b) == want))
-            } else {
-                None
+            let recorded = mgr.chunk_crc(c).expect("chunk without crc");
+            let splice_all = |base: &[u8]| -> u64 {
+                let mut crc = recorded;
+                for (off, d) in updates {
+                    let at = *off as usize;
+                    crc = crc::crc64_splice(crc, chunk_len, *off, &base[at..at + d.len()], d);
+                }
+                crc
             };
-            let base = verified_base
-                .or_else(|| homes.iter().find_map(|&h| mgr.benefactor(h).peek_chunk(c)))
-                .expect("live copy present");
-            let mut scratch: Box<[u8]> = base.into();
-            for (off, d) in updates {
-                scratch[*off as usize..*off as usize + d.len()].copy_from_slice(d);
+            if self.cfg.verify_reads {
+                if let Some(base) = homes.iter().find_map(|&h| {
+                    mgr.benefactor(h)
+                        .peek_chunk(c)
+                        .filter(|b| crc64(b) == recorded)
+                }) {
+                    return splice_all(base);
+                }
+                let base = homes
+                    .iter()
+                    .find_map(|&h| mgr.benefactor(h).peek_chunk(c))
+                    .expect("live copy present");
+                let mut scratch: Box<[u8]> = base.into();
+                for (off, d) in updates {
+                    scratch[*off as usize..*off as usize + d.len()].copy_from_slice(d);
+                }
+                return crc64(&scratch);
             }
-            crc64(&scratch)
+            let base = homes
+                .iter()
+                .find_map(|&h| mgr.benefactor(h).peek_chunk(c))
+                .expect("live copy present");
+            splice_all(base)
         };
 
         let mut end = VTime::ZERO;
@@ -1613,7 +1702,7 @@ impl AggregateStore {
                 // hole writes allocate unreserved space (checked above).
                 let consumes_reservation = matches!(slot, Slot::Unmaterialized);
                 let data = compose(updates);
-                let crc = crc64(&data);
+                let crc = compose_crc(updates);
                 let c = mgr.new_chunk_id(live_homes.clone(), target, crc);
                 for &home in &live_homes {
                     let home_node = mgr.benefactor(home).node;
@@ -1750,7 +1839,7 @@ impl AggregateStore {
         if mgr.benefactor(id).is_alive() == alive {
             return;
         }
-        mgr.benefactor_mut(id).set_alive(alive);
+        mgr.set_alive(id, alive);
         // Liveness changes serviceability: invalidate location caches.
         mgr.bump_placement_epoch();
         if alive {

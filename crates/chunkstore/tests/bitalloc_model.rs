@@ -1,0 +1,119 @@
+//! Property tests for the two-level bitmap-tree slot allocator
+//! (DESIGN.md §13), against a naive ordered-set model:
+//!
+//! * **First-fit determinism** — `alloc` always returns the lowest free
+//!   slot, exactly what a linear scan over the model would pick.
+//! * **Model agreement** — after an arbitrary interleaving of allocs and
+//!   frees, the allocator's membership matches the model bit for bit.
+//! * **O(1) counter agreement** — the folded free counter equals
+//!   `len - |model|` at every step, never recounted.
+//! * **Summary/child consistency** — every summary bit equals
+//!   "child word full" after any interleaving, and rebuilding from the
+//!   leaf bitmap alone (`from_leaf`, the crash-recovery path) reproduces
+//!   the live allocator exactly.
+
+use chunkstore::BitAlloc;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// One step of an interleaving: allocate, or free the `pick`-th oldest
+/// allocated slot (ignored when nothing is allocated).
+#[derive(Clone, Debug)]
+enum Op {
+    Alloc,
+    Free { pick: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::Alloc),
+        1 => (0usize..1024).prop_map(|pick| Op::Free { pick }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn matches_naive_set_model(
+        len in 1usize..600,
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+    ) {
+        let mut a = BitAlloc::new(len);
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+
+        for op in &ops {
+            match op {
+                Op::Alloc => {
+                    // The model's first-fit pick: lowest index not allocated.
+                    let expect = (0..len).find(|s| !model.contains(s));
+                    let got = a.alloc();
+                    prop_assert_eq!(got, expect, "alloc must be first-fit");
+                    if let Some(s) = got {
+                        model.insert(s);
+                    }
+                }
+                Op::Free { pick } => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let &s = model
+                        .iter()
+                        .nth(pick % model.len())
+                        .expect("model non-empty");
+                    prop_assert!(a.is_allocated(s));
+                    a.release(s);
+                    model.remove(&s);
+                }
+            }
+            // O(1) folded counter agrees with the model at every step.
+            prop_assert_eq!(a.free_count(), len - model.len());
+            prop_assert_eq!(a.allocated(), model.len());
+        }
+
+        // Final membership is bit-identical to the model.
+        for s in 0..len {
+            prop_assert_eq!(a.is_allocated(s), model.contains(&s), "slot {}", s);
+        }
+        // Summary tree and counters are internally consistent…
+        a.assert_consistent();
+        // …and the leaf bitmap alone reconstructs the allocator (the
+        // crash-recovery claim: summaries and counters are derived state).
+        let rebuilt = BitAlloc::from_leaf(a.leaf_words().to_vec(), a.len());
+        prop_assert_eq!(rebuilt.free_count(), a.free_count());
+        for s in 0..len {
+            prop_assert_eq!(rebuilt.is_allocated(s), a.is_allocated(s));
+        }
+        rebuilt.assert_consistent();
+    }
+
+    #[test]
+    fn alloc_free_alloc_returns_the_same_slot(
+        len in 1usize..300,
+        churn in 1usize..64,
+    ) {
+        // Determinism of find-first-free: freeing the slot just allocated
+        // and allocating again must return the same slot, every time.
+        let mut a = BitAlloc::new(len);
+        for _ in 0..churn {
+            let Some(s) = a.alloc() else { break };
+            a.release(s);
+            prop_assert_eq!(a.alloc(), Some(s));
+        }
+        a.assert_consistent();
+    }
+
+    #[test]
+    fn fills_exactly_to_capacity(len in 1usize..600) {
+        let mut a = BitAlloc::new(len);
+        for want in 0..len {
+            prop_assert_eq!(a.alloc(), Some(want), "ascending first-fit fill");
+        }
+        prop_assert_eq!(a.alloc(), None, "full allocator refuses");
+        prop_assert_eq!(a.free_count(), 0);
+        a.assert_consistent();
+    }
+}

@@ -19,6 +19,7 @@
 
 use crate::time::VTime;
 use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Identifies a process within one [`Engine`] run.
@@ -39,35 +40,49 @@ enum State {
 
 struct Sched {
     states: Vec<State>,
+    /// Mirror of every `Ready` entry in `states`, ordered by
+    /// `(clock, id)`: min-ready and min-active queries are O(log n)
+    /// `first()` reads instead of O(n) state sweeps, which is the
+    /// per-yield hot path (ISSUE 7 host-speed pass). `states` stays the
+    /// source of truth; every Ready transition updates both.
+    ready: BTreeSet<(VTime, ProcId)>,
+    /// The process currently holding the baton, if any.
+    running: Option<ProcId>,
     switches: u64,
     poisoned: bool,
 }
 
 impl Sched {
-    /// The runnable process with the minimum `(clock, id)`, if any.
-    fn min_ready(&self) -> Option<(ProcId, VTime)> {
-        self.states
-            .iter()
-            .enumerate()
-            .filter_map(|(id, s)| match s {
-                State::Ready(t) => Some((id, *t)),
-                _ => None,
-            })
-            .min_by_key(|&(id, t)| (t, id))
+    /// Flip `id` (not currently Ready) to Ready at `t`.
+    fn make_ready(&mut self, id: ProcId, t: VTime) {
+        self.states[id] = State::Ready(t);
+        let inserted = self.ready.insert((t, id));
+        debug_assert!(inserted, "process {id} was already in the ready set");
     }
 
-    /// Minimum clock over every process that could still act at it:
-    /// ready processes and (when `exclude` is not them) the running one.
+    /// Flip a Ready process to Running (caller got it from `min_ready`
+    /// or the ready set's head).
+    fn claim(&mut self, id: ProcId, t: VTime) {
+        let removed = self.ready.remove(&(t, id));
+        debug_assert!(removed, "claimed process {id} was not in the ready set");
+        self.states[id] = State::Running(t);
+        self.running = Some(id);
+        self.switches += 1;
+    }
+
+    /// The runnable process with the minimum `(clock, id)`, if any.
+    fn min_ready(&self) -> Option<(ProcId, VTime)> {
+        self.ready.first().map(|&(t, id)| (id, t))
+    }
+
+    /// Minimum clock over every *other* runnable process, when it is
+    /// strictly behind `(my_clock, me)`. The caller holds the baton, so
+    /// it is Running, never in the ready set.
     fn min_active_clock_excluding(&self, me: ProcId, my_clock: VTime) -> Option<(VTime, ProcId)> {
-        self.states
-            .iter()
-            .enumerate()
-            .filter(|&(id, _)| id != me)
-            .filter_map(|(id, s)| match s {
-                State::Ready(t) => Some((*t, id)),
-                _ => None,
-            })
-            .min()
+        debug_assert!(matches!(self.states[me], State::Running(_)));
+        self.ready
+            .first()
+            .copied()
             .filter(|&(t, id)| (t, id) < (my_clock, me))
     }
 
@@ -87,9 +102,9 @@ impl Shared {
     /// Hand the baton to the best ready process (caller must NOT be Running).
     /// Returns false when nothing is ready (everyone parked or done).
     fn dispatch(sched: &mut Sched) -> bool {
+        sched.running = None;
         if let Some((next, t)) = sched.min_ready() {
-            sched.states[next] = State::Running(t);
-            sched.switches += 1;
+            sched.claim(next, t);
             true
         } else {
             false
@@ -145,7 +160,7 @@ impl ProcCtx {
                     return; // we are the minimum; keep the baton
                 }
                 // Someone is strictly behind us: hand over and wait.
-                sched.states[self.id] = State::Ready(self.clock);
+                sched.make_ready(self.id, self.clock);
                 let ok = Shared::dispatch(&mut sched);
                 debug_assert!(ok, "a ready process must exist: ourselves");
                 shared.cv.notify_all();
@@ -189,7 +204,7 @@ impl ProcCtx {
                     at >= t,
                     "resume at {at} would move process {other} back from {t}"
                 );
-                sched.states[other] = State::Ready(at);
+                sched.make_ready(other, at);
             }
             ref s => panic!("resume_other({other}): process is {s:?}, not Suspended"),
         }
@@ -213,13 +228,10 @@ impl ProcCtx {
                     // Belt and braces: if nothing is running (a dispatch
                     // found no ready process before we became ready), claim
                     // the baton ourselves when we are the minimum.
-                    if matches!(sched.states[self.id], State::Ready(_))
-                        && !sched.states.iter().any(|s| matches!(s, State::Running(_)))
-                    {
+                    if matches!(sched.states[self.id], State::Ready(_)) && sched.running.is_none() {
                         if let Some((next, t)) = sched.min_ready() {
                             if next == self.id {
-                                sched.states[self.id] = State::Running(t);
-                                sched.switches += 1;
+                                sched.claim(self.id, t);
                                 continue;
                             }
                         }
@@ -295,6 +307,8 @@ impl Engine {
         let shared = Arc::new(Shared {
             sched: Mutex::new(Sched {
                 states: vec![State::Ready(VTime::ZERO); n],
+                ready: (0..n).map(|id| (VTime::ZERO, id)).collect(),
+                running: None,
                 switches: 0,
                 poisoned: false,
             }),

@@ -11,6 +11,22 @@ cd "$(dirname "$0")/.."
 quick=0
 [ "${1:-}" = "--quick" ] && quick=1
 
+# Every BENCH_*.json carries a "host" wall-clock block (host_seconds and
+# friends) that varies run to run; expectation diffs compare everything
+# *except* it. Brace-depth aware so nested blocks (micro's "detail")
+# strip cleanly too.
+strip_host() {
+    awk '
+        /^  "host": \{$/ { depth = 1; next }
+        depth > 0 {
+            if (/\{$/) depth++
+            else if (/^[[:space:]]*\},?$/) depth--
+            next
+        }
+        { print }
+    ' "$1"
+}
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -31,7 +47,7 @@ rm -rf "$smoke_dir"
 BENCH_JSON_DIR="$smoke_dir" cargo bench -q -p bench --bench pipeline_overlap -- --smoke \
     --trace "$smoke_dir/trace_smoke.json"
 diff -u crates/bench/expected/BENCH_pipeline_overlap_serial.json \
-    "$smoke_dir/BENCH_pipeline_overlap_serial.json"
+    <(strip_host "$smoke_dir/BENCH_pipeline_overlap_serial.json")
 
 echo "==> exported trace must satisfy the Chrome trace-event schema"
 cargo run -q --release --example validate_trace -- "$smoke_dir/trace_smoke.json"
@@ -39,7 +55,7 @@ cargo run -q --release --example validate_trace -- "$smoke_dir/trace_smoke.json"
 echo "==> writeback_daemon smoke (defaults-off must match committed expectations)"
 BENCH_JSON_DIR="$smoke_dir" cargo bench -q -p bench --bench writeback_daemon -- --smoke
 diff -u crates/bench/expected/BENCH_writeback_daemon_serial.json \
-    "$smoke_dir/BENCH_writeback_daemon_serial.json"
+    <(strip_host "$smoke_dir/BENCH_writeback_daemon_serial.json")
 
 echo "==> write-back daemon counters must appear in the obs footer"
 for c in fuse.bg_flushes fuse.bg_writeback_bytes fuse.throttled_writes \
@@ -54,7 +70,7 @@ grep -q '"daemon: background flusher and clean-first eviction were exercised": t
 echo "==> scrub smoke (knobs-off baseline must match committed expectations)"
 BENCH_JSON_DIR="$smoke_dir" cargo bench -q -p bench --bench scrub -- --smoke
 diff -u crates/bench/expected/BENCH_scrub_serial.json \
-    "$smoke_dir/BENCH_scrub_serial.json"
+    <(strip_host "$smoke_dir/BENCH_scrub_serial.json")
 
 echo "==> injected bit rot must be detected, repaired and never served"
 for c in rotted_crc_mismatches rotted_scrub_repairs scrub_repairs; do
@@ -80,7 +96,7 @@ done
 echo "==> fan_in smoke (shards=1 must be bit-identical to the serial manager)"
 BENCH_JSON_DIR="$smoke_dir" cargo bench -q -p bench --bench fan_in -- --smoke
 diff -u crates/bench/expected/BENCH_fan_in_serial.json \
-    "$smoke_dir/BENCH_fan_in_serial.json"
+    <(strip_host "$smoke_dir/BENCH_fan_in_serial.json")
 grep -q '"shards=1 bit-identical to the serial manager": true' \
     "$smoke_dir/BENCH_fan_in_serial.json" \
     || { echo "FAIL: sharded manager diverged from the serial baseline"; exit 1; }
@@ -88,5 +104,26 @@ if ! grep -Eq '"store.loc_cache_hits": [1-9]' "$smoke_dir/BENCH_fan_in_serial.js
     echo "FAIL: leased hot path never hit the location cache"
     exit 1
 fi
+
+echo "==> every emitted bench JSON must carry a host wall-clock footer"
+for f in "$smoke_dir"/BENCH_*.json; do
+    grep -q '"host": {' "$f" \
+        || { echo "FAIL: $(basename "$f") is missing its host footer"; exit 1; }
+done
+
+echo "==> micro host-speed floor (simulated bytes per host second)"
+# Committed floor: 140 MB of simulated traffic per host second — 2x the
+# pre-bitalloc baseline (70.9 MB/hs, EXPERIMENTS.md) and ~8x below the
+# rate measured after the allocator/CRC-splice work, so the gate catches
+# an O(n)-per-event regression without tripping on machine variance.
+micro_floor=140000000
+BENCH_JSON_DIR="$smoke_dir" cargo bench -q -p bench --bench micro -- --host-speed
+micro_rate="$(awk -F': ' '/"bytes_per_host_second"/ { gsub(/,/, "", $2); print $2; exit }' \
+    "$smoke_dir/BENCH_micro.json")"
+if [ -z "$micro_rate" ] || [ "$micro_rate" -lt "$micro_floor" ]; then
+    echo "FAIL: micro host speed ${micro_rate:-?} B/hs is below the ${micro_floor} floor"
+    exit 1
+fi
+echo "    micro: ${micro_rate} simulated bytes/host-second (floor ${micro_floor})"
 
 echo "All checks passed."
